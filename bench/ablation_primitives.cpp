@@ -1,0 +1,114 @@
+// Microbenchmarks of the substrate primitives the semisort is built from:
+// scan, pack, counting sort, radix sort, the phase-concurrent hash table,
+// and the scheduler's parallel_for overhead.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "hashing/phase_concurrent_hash_table.h"
+#include "primitives/counting_sort.h"
+#include "primitives/pack.h"
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+#include "sort/radix_sort.h"
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace {
+
+using namespace parsemi;
+
+void BM_ScanExclusive(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_exclusive_inplace(std::span<uint64_t>(v)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_Pack(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  rng r(1);
+  for (auto& x : v) x = r.next();
+  for (auto _ : state) {
+    auto out = pack(std::span<const uint64_t>(v),
+                    [&](size_t i) { return (v[i] & 1) != 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Pack)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_CountingSort256(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<record> in(n), out(n);
+  rng r(2);
+  for (size_t i = 0; i < n; ++i) in[i] = {r.next(), i};
+  for (auto _ : state) {
+    counting_sort(std::span<const record>(in), std::span<record>(out), 256,
+                  [](const record& rec) { return rec.key & 255; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_CountingSort256)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_RadixSort64(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  rng r(3);
+  for (auto& x : v) x = r.next();
+  for (auto _ : state) {
+    auto work = v;
+    radix_sort_u64(std::span<uint64_t>(work));
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_RadixSort64)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_HashTableInsertFind(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> keys(n);
+  rng r(4);
+  for (auto& k : keys) k = r.next();
+  for (auto _ : state) {
+    phase_concurrent_hash_table<uint32_t> table(n);
+    parallel_for(0, n, [&](size_t i) {
+      table.insert(keys[i], static_cast<uint32_t>(i));
+    });
+    size_t found = count_if_index(n, [&](size_t i) {
+      return table.contains(keys[i]);
+    });
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_HashTableInsertFind)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n, 0);
+  for (auto _ : state) {
+    parallel_for(0, n, [&](size_t i) { v[i] = i; });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_ForkJoinLatency(benchmark::State& state) {
+  for (auto _ : state) {
+    int a = 0, b = 0;
+    par_do([&] { a = 1; }, [&] { b = 2; });
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_ForkJoinLatency);
+
+}  // namespace
+
+BENCHMARK_MAIN();

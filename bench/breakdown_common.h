@@ -1,0 +1,68 @@
+// Shared driver for the Table 2 / Table 3 phase-breakdown benches
+// (and Figure 3, which plots the same data as percentages).
+#pragma once
+
+#include <functional>
+
+#include "common.h"
+
+namespace parsemi::bench {
+
+inline int run_breakdown(
+    int argc, char** argv, const char* title,
+    const std::function<distribution_spec(size_t)>& make_spec,
+    const char* shape_note) {
+  arg_parser args(argc, argv);
+  size_t n = static_cast<size_t>(args.get_int("n", 10000000));
+  int reps = static_cast<int>(args.get_int("reps", 2));
+  int max_threads =
+      static_cast<int>(args.get_int("maxthreads", hardware_threads()));
+
+  distribution_spec spec = make_spec(n);
+  print_context(title, n);
+  std::printf("distribution: %s\n\n", dist_label(spec).c_str());
+  auto in = generate_records(n, spec, 42);
+
+  // The breakdown of the best-of-reps run at each thread count.
+  auto measure = [&](int threads) {
+    set_num_workers(threads);
+    std::vector<record> out(in.size());
+    semisort_params params;
+    phase_timer best;
+    double best_total = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      phase_timer pt;
+      params.timings = &pt;
+      semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                      record_key{}, params);
+      if (pt.total() < best_total) {
+        best_total = pt.total();
+        best = pt;
+      }
+    }
+    set_num_workers(1);
+    return best;
+  };
+
+  phase_timer seq = measure(1);
+  phase_timer par = measure(max_threads);
+
+  ascii_table table({"phase", "seq time(s)", "seq %",
+                     "T" + std::to_string(max_threads) + " time(s)",
+                     "T" + std::to_string(max_threads) + " %", "speedup"});
+  for (size_t i = 0; i < seq.phases().size(); ++i) {
+    auto& [name, seq_t] = seq.phases()[i];
+    double par_t = par.phases()[i].second;
+    table.add_row({name, fmt(seq_t, 3), fmt(100 * seq_t / seq.total(), 2),
+                   fmt(par_t, 3), fmt(100 * par_t / par.total(), 2),
+                   fmt(seq_t / par_t, 2)});
+  }
+  table.add_row({"TOTAL", fmt(seq.total(), 3), "100.00", fmt(par.total(), 3),
+                 "100.00", fmt(seq.total() / par.total(), 2)});
+  std::printf("%s\n", table.to_string().c_str());
+  if (args.has("csv")) std::printf("%s\n", table.to_csv().c_str());
+  std::printf("%s", shape_note);
+  return 0;
+}
+
+}  // namespace parsemi::bench

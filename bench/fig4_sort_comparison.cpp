@@ -1,0 +1,86 @@
+// Figure 4 (a–d): parallel speedup and throughput (million records/second)
+// of four algorithms — parallel semisort, sample sort, radix sort, and STL
+// sort — across input sizes on the two representative distributions.
+//
+// Paper setting: n from 10^7 to 10^9. Default sizes are one decade lower.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace parsemi;
+  using namespace parsemi::bench;
+  arg_parser args(argc, argv);
+  int reps = static_cast<int>(args.get_int("reps", 2));
+  int max_threads =
+      static_cast<int>(args.get_int("maxthreads", hardware_threads()));
+
+  std::vector<size_t> sizes = {1000000, 2000000, 5000000, 10000000};
+  if (args.has("sizes")) {
+    sizes.clear();
+    std::string list = args.get_string("sizes", "");
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      sizes.push_back(std::stoull(list.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+  }
+
+  print_context("Figure 4: semisort vs sample/radix/STL sort across sizes",
+                sizes.back());
+
+  std::vector<std::pair<const char*, distribution_kind>> dists = {
+      {"exponential(n/1e3)", distribution_kind::exponential},
+      {"uniform(n)", distribution_kind::uniform},
+  };
+
+  for (auto& [title, kind] : dists) {
+    ascii_table speedups({"n", "semisort SU", "samplesort SU", "radix SU",
+                          "stl SU"});
+    ascii_table throughput({"n", "semisort Mr/s", "samplesort Mr/s",
+                            "radix Mr/s", "stl Mr/s"});
+    for (size_t n : sizes) {
+      uint64_t param = kind == distribution_kind::exponential
+                           ? std::max<uint64_t>(1, n / 1000)
+                           : n;
+      auto in = generate_records(n, {kind, param}, 42);
+
+      set_num_workers(1);
+      double semi_seq = time_semisort(in, reps);
+      double samp_seq = time_sample_sort(in, reps);
+      double radix_seq = time_radix_sort(in, reps);
+      double stl_seq = time_stl_sort(in, reps);
+      set_num_workers(max_threads);
+      double semi_par = time_semisort(in, reps);
+      double samp_par = time_sample_sort(in, reps);
+      double radix_par = time_radix_sort(in, reps);
+      double stl_par = time_stl_sort(in, reps);
+      set_num_workers(1);
+
+      speedups.add_row({fmt_count(n), fmt(semi_seq / semi_par, 2),
+                        fmt(samp_seq / samp_par, 2),
+                        fmt(radix_seq / radix_par, 2),
+                        fmt(stl_seq / stl_par, 2)});
+      auto mrs = [&](double t) {
+        return fmt(static_cast<double>(n) / t / 1e6, 1);
+      };
+      throughput.add_row({fmt_count(n), mrs(semi_par), mrs(samp_par),
+                          mrs(radix_par), mrs(stl_par)});
+      std::fprintf(stderr, "  done: %s n=%s\n", title, fmt_count(n).c_str());
+    }
+    std::printf("%s — parallel speedup (Fig 4a/4b):\n%s\n", title,
+                speedups.to_string().c_str());
+    std::printf("%s — records/second (Fig 4c/4d):\n%s\n", title,
+                throughput.to_string().c_str());
+    if (args.has("csv")) {
+      std::printf("%s\n%s\n", speedups.to_csv().c_str(),
+                  throughput.to_csv().c_str());
+    }
+  }
+  std::printf(
+      "paper shape: comparison sorts win at small n; semisort overtakes as n\n"
+      "grows (linear vs n·log n work) and its Mrec/s keeps rising with n\n"
+      "while the comparison sorts' throughput falls past ~10^8 records;\n"
+      "radix sort trails everywhere on 64-bit keys.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// §5.5's discussion of the Polychroniou–Ross optimized radix sort: fast on
+// well-balanced (uniform) distributions, problematic on skew. This bench
+// compares our buffered-LSB stand-in against the MSD radix baseline and the
+// semisort on a balanced input and two increasingly skewed ones.
+#include "common.h"
+#include "sort/lsb_radix_sort.h"
+
+int main(int argc, char** argv) {
+  using namespace parsemi;
+  using namespace parsemi::bench;
+  arg_parser args(argc, argv);
+  size_t n = static_cast<size_t>(args.get_int("n", 10000000));
+  int reps = static_cast<int>(args.get_int("reps", 2));
+  int max_threads =
+      static_cast<int>(args.get_int("maxthreads", hardware_threads()));
+
+  print_context("§5.5: buffered-LSB radix (Polychroniou-Ross style) vs skew",
+                n);
+
+  std::vector<std::pair<const char*, distribution_spec>> dists = {
+      {"uniform(n) [balanced]", {distribution_kind::uniform, n}},
+      {"zipf(n) [skewed]", {distribution_kind::zipfian, n}},
+      {"uniform(10) [extreme skew]", {distribution_kind::uniform, 10}},
+  };
+
+  ascii_table table({"dist", "lsb radix(s)", "msd radix(s)", "semisort(s)",
+                     "lsb/semisort"});
+  for (auto& [title, spec] : dists) {
+    auto in = generate_records(n, spec, 42);
+    set_num_workers(max_threads);
+    std::vector<record> work(n);
+    double lsb = time_min(reps, [&] {
+      std::copy(in.begin(), in.end(), work.begin());
+      lsb_radix_sort(std::span<record>(work), record_key{});
+    });
+    double msd = time_radix_sort(in, reps);
+    double semi = time_semisort(in, reps);
+    set_num_workers(1);
+    table.add_row({title, fmt(lsb, 3), fmt(msd, 3), fmt(semi, 3),
+                   fmt(lsb / semi, 2)});
+    std::fprintf(stderr, "  done: %s\n", title);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  if (args.has("csv")) std::printf("%s\n", table.to_csv().c_str());
+  std::printf(
+      "paper context (§5.5): the AVX original beat the semisort on uniform\n"
+      "data but \"did not work on more skewed distributions\". Our scalar\n"
+      "stand-in stays correct on skew; whether skew also *slows* it depends\n"
+      "on parallelism — the original's failure mode (one bucket swallowing\n"
+      "the partitioning work) needs many cores to manifest as imbalance.\n"
+      "On a single core skew can even help (fewer live destination cache\n"
+      "lines). The durable observation: LSB radix always pays all 8 passes\n"
+      "over 64-bit keys and cannot exploit heavy keys the way the semisort\n"
+      "does at scale.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 4: running time (sequential and parallel), speedup, and records per
+// second of the semisort for input sizes across three decades, on the two
+// representative distributions, plus the scatter / pack / scatter+pack
+// baseline columns.
+//
+// Paper setting: n ∈ {10, 20, 50, 100, 200, 500, 1000} million. Defaults
+// here run n ∈ {1, 2, 5, 10, 20} million; pass --sizes to extend, e.g.
+//   --sizes 10000000,20000000,50000000,100000000
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace parsemi;
+  using namespace parsemi::bench;
+  arg_parser args(argc, argv);
+  int reps = static_cast<int>(args.get_int("reps", 2));
+  int max_threads =
+      static_cast<int>(args.get_int("maxthreads", hardware_threads()));
+
+  std::vector<size_t> sizes;
+  if (args.has("sizes")) {
+    std::string list = args.get_string("sizes", "");
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      sizes.push_back(std::stoull(list.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+  } else {
+    sizes = {1000000, 2000000, 5000000, 10000000};
+  }
+
+  print_context("Table 4: scaling with input size + scatter/pack baseline",
+                sizes.back());
+
+  std::vector<std::pair<const char*, distribution_kind>> dists = {
+      {"exponential(n/1e3)", distribution_kind::exponential},
+      {"uniform(n)", distribution_kind::uniform},
+  };
+
+  for (auto& [title, kind] : dists) {
+    ascii_table table({"n", "seq(s)", "par(s)", "speedup", "Mrec/s",
+                       "scatter(s)", "pack(s)", "scatter+pack(s)"});
+    for (size_t n : sizes) {
+      uint64_t param = kind == distribution_kind::exponential
+                           ? std::max<uint64_t>(1, n / 1000)
+                           : n;
+      auto in = generate_records(n, {kind, param}, 42);
+      set_num_workers(1);
+      double seq = time_semisort(in, reps);
+      set_num_workers(max_threads);
+      double par = time_semisort(in, reps);
+      auto sp = time_scatter_pack(in, reps);
+      set_num_workers(1);
+      table.add_row({fmt_count(n), fmt(seq, 3), fmt(par, 3),
+                     fmt(seq / par, 2),
+                     fmt(static_cast<double>(n) / par / 1e6, 1),
+                     fmt(sp.scatter, 3), fmt(sp.pack, 3),
+                     fmt(sp.scatter + sp.pack, 3)});
+      std::fprintf(stderr, "  done: %s n=%s\n", title, fmt_count(n).c_str());
+    }
+    std::printf("%s:\n%s\n", title, table.to_string().c_str());
+    if (args.has("csv")) std::printf("%s\n", table.to_csv().c_str());
+  }
+  std::printf(
+      "paper shape: records/second improves with n (fixed costs amortize);\n"
+      "parallel semisort stays within ~1.5-2x of the raw scatter+pack lower\n"
+      "bound, with the ratio improving at larger n.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Building a graph adjacency structure from an edge list with semisort
+// (§1 of the paper: collecting "values associated with vertices in a
+// graph"; the cited use in parallel graph coloring / divide-and-conquer).
+//
+//   ./graph_neighbors [--vertices 1000000] [--edges 8000000]
+//
+// Edges arrive as an unordered (source, target) stream with power-law
+// degrees. Grouping by source with the semisort yields CSR-style adjacency
+// in two linear passes — no per-vertex locks, no atomic counters.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/group_by.h"
+#include "scheduler/scheduler.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workloads/distributions.h"
+
+int main(int argc, char** argv) {
+  using namespace parsemi;
+  arg_parser args(argc, argv);
+  uint64_t vertices = static_cast<uint64_t>(args.get_int("vertices", 1000000));
+  size_t edges_n = static_cast<size_t>(args.get_int("edges", 8000000));
+  if (args.has("threads")) set_num_workers(static_cast<int>(args.get_int("threads", 1)));
+
+  // Power-law sources (Zipf over vertex ids), uniform targets.
+  std::vector<record> edges(edges_n);
+  rng base(8128);
+  distribution_spec src_dist{distribution_kind::zipfian, vertices};
+  parallel_for(0, edges_n, [&](size_t i) {
+    uint64_t src = draw_underlying_key(src_dist, base, i);
+    edges[i] = {hash64(src), base.split(i).next_below(vertices)};
+  });
+
+  timer t;
+  auto g = group_by_hashed(std::span<const record>(edges));
+  double group_time = t.lap();
+
+  // Degree statistics straight off the groups.
+  size_t max_degree = 0;
+  double sum_degree = 0;
+  for (size_t grp = 0; grp < g.num_groups(); ++grp) {
+    max_degree = std::max(max_degree, g.group(grp).size());
+    sum_degree += static_cast<double>(g.group(grp).size());
+  }
+
+  // A toy analytic pass over the adjacency: per-vertex neighbor dedup count
+  // (runs per group in parallel — each group is already contiguous).
+  std::vector<size_t> distinct_neighbors(g.num_groups());
+  parallel_for(
+      0, g.num_groups(),
+      [&](size_t grp) {
+        auto span = g.group(grp);
+        std::vector<uint64_t> nbrs;
+        nbrs.reserve(span.size());
+        for (auto& e : span) nbrs.push_back(e.payload);
+        std::sort(nbrs.begin(), nbrs.end());
+        distinct_neighbors[grp] = static_cast<size_t>(
+            std::unique(nbrs.begin(), nbrs.end()) - nbrs.begin());
+      },
+      1);
+  double analyze_time = t.lap();
+
+  size_t total_distinct = 0;
+  for (size_t d : distinct_neighbors) total_distinct += d;
+
+  std::printf("graph adjacency build: %zu edges over ≤%llu vertices, %d worker(s)\n",
+              edges_n, static_cast<unsigned long long>(vertices), num_workers());
+  std::printf("  group edges by source: %.3fs (%.1f Medges/s)\n", group_time,
+              static_cast<double>(edges_n) / group_time / 1e6);
+  std::printf("  vertices with edges: %zu, max degree %zu, avg degree %.2f\n",
+              g.num_groups(), max_degree, sum_degree / static_cast<double>(g.num_groups()));
+  std::printf("  multi-edge dedup pass: %.3fs (%zu distinct directed edges)\n",
+              analyze_time, total_distinct);
+  return 0;
+}

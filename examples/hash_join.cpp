@@ -1,0 +1,64 @@
+// Database equi-join via semisort (§1 of the paper: "in the relational join
+// operation ... equal values of a field of a relation have to be put
+// together with equal values of a field of another").
+//
+//   ./hash_join [--left 4000000] [--right 4000000] [--matches 200000]
+//
+// Uses the library's relational layer: parsemi::equi_join concatenates the
+// relations with a side tag, semisorts on the join key, and emits each
+// group's left×right cross product with exact output sizing — the
+// semisort-based join strategy from the main-memory join literature the
+// paper cites.
+#include <cstdio>
+#include <vector>
+
+#include "core/relational.h"
+#include "scheduler/scheduler.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workloads/record.h"
+
+int main(int argc, char** argv) {
+  using namespace parsemi;
+  arg_parser args(argc, argv);
+  size_t left_n = static_cast<size_t>(args.get_int("left", 4000000));
+  size_t right_n = static_cast<size_t>(args.get_int("right", 4000000));
+  size_t match_keys = static_cast<size_t>(args.get_int("matches", 200000));
+  if (args.has("threads")) set_num_workers(static_cast<int>(args.get_int("threads", 1)));
+
+  // Left rows draw keys from [match_keys], right rows from [2·match_keys]:
+  // about half the right rows have join partners.
+  std::vector<record> left(left_n), right(right_n);
+  rng base(31415);
+  parallel_for(0, left_n, [&](size_t i) {
+    left[i] = {hash64(base.split(i).next_below(match_keys)), i};
+  });
+  parallel_for(0, right_n, [&](size_t i) {
+    right[i] = {hash64(base.split(left_n + i).next_below(2 * match_keys)), i};
+  });
+
+  timer t;
+  auto joined = equi_join(
+      std::span<const record>(left), std::span<const record>(right),
+      record_key{}, [](const record& r) { return r.payload; }, record_key{},
+      [](const record& r) { return r.payload; });
+  double join_time = t.elapsed();
+
+  std::printf("semisort join: |L|=%zu |R|=%zu, %d worker(s)\n", left_n,
+              right_n, num_workers());
+  std::printf("  join: %.3fs (%zu output tuples, %.1f Minput rows/s)\n",
+              join_time, joined.size(),
+              static_cast<double>(left_n + right_n) / join_time / 1e6);
+
+  // Aggregate over the join result: total matches per hot key bucket.
+  t.reset();
+  auto per_key = group_aggregate(
+      std::span<const join_row>(joined),
+      [](const join_row& r) { return r.key; },
+      [](const join_row&) { return uint64_t{1}; }, uint64_t{0},
+      [](uint64_t acc, uint64_t v) { return acc + v; });
+  std::printf("  group-aggregate over result: %.3fs (%zu keys with matches)\n",
+              t.elapsed(), per_key.size());
+  return joined.empty() ? 1 : 0;
+}

@@ -1,0 +1,154 @@
+// Phase 2 — bucket allocation (§4 Phase 2; steps 4, 5, 6a, 7a of Alg. 1).
+//
+// From the *sorted* sample this builds the complete routing structure:
+//   * heavy keys (≥ δ sample hits) each get their own bucket and an entry
+//     in a phase-concurrent hash table T: hashed key → bucket id;
+//   * the hash space is partitioned into 2^16 equal ranges; adjacent ranges
+//     are merged until each light bucket covers ≥ δ sample hits (the §4
+//     estimation-accuracy optimization), and a 2^16-entry map range → light
+//     bucket id is produced (small enough to stay cache-resident);
+//   * every bucket gets α·f(s) slots (§3.1), laid out in one big array —
+//     heavy buckets first, then light — so Phase 5 can pack by scanning.
+//
+// This phase costs ~1% of the total time (sample is n/16 keys), so the
+// walk over distinct sample keys is deliberately sequential and simple,
+// exactly as in the paper.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/params.h"
+#include "hashing/phase_concurrent_hash_table.h"
+#include "primitives/pack.h"
+
+namespace parsemi {
+
+struct bucket_plan {
+  // Heavy routing: hashed key → heavy bucket id (buckets 0..num_heavy).
+  std::unique_ptr<phase_concurrent_hash_table<uint32_t>> heavy_table;
+  size_t num_heavy = 0;
+
+  // Light routing: key >> range_shift → range; range → light bucket id
+  // (light bucket j occupies overall bucket slot num_heavy + j).
+  std::vector<uint32_t> range_to_light_bucket;
+  int range_shift = 48;
+  size_t num_light = 0;
+
+  // bucket_offset[b] .. bucket_offset[b+1]) is bucket b's slot range in the
+  // single backing array; heavy buckets come first.
+  std::vector<size_t> bucket_offset;
+  size_t heavy_slots_end = 0;
+  size_t total_slots = 0;
+
+  size_t num_buckets() const { return num_heavy + num_light; }
+
+  // Bucket id for a hashed key (valid once heavy_table's insert phase is
+  // over, i.e. any time after build_bucket_plan returns).
+  size_t bucket_of(uint64_t key) const {
+    if (num_heavy > 0) {
+      if (auto h = heavy_table->find(key)) return *h;
+    }
+    return num_heavy + range_to_light_bucket[key >> range_shift];
+  }
+};
+
+// Builds the plan from the sorted sample. `alpha` is passed explicitly so
+// the Las-Vegas retry loop can inflate capacities after an overflow.
+inline bucket_plan build_bucket_plan(std::span<const uint64_t> sorted_sample,
+                                     size_t n, const semisort_params& params,
+                                     double alpha) {
+  bucket_plan plan;
+  size_t m = sorted_sample.size();
+
+  size_t num_ranges = std::bit_ceil(std::max<size_t>(2, params.num_hash_ranges));
+  plan.range_shift = 64 - std::countr_zero(num_ranges);
+  plan.range_to_light_bucket.assign(num_ranges, 0);
+
+  // Distinct-key boundaries in the sorted sample (parallel pack).
+  std::vector<size_t> starts = pack_index(
+      m, [&](size_t i) { return i == 0 || sorted_sample[i] != sorted_sample[i - 1]; });
+  size_t num_distinct = starts.size();
+  starts.push_back(m);
+
+  // Split distinct sample keys into heavy keys and per-range light counts.
+  std::vector<std::pair<uint64_t, size_t>> heavy_keys;  // (key, sample count)
+  std::vector<size_t> range_sample_count(num_ranges, 0);
+  for (size_t j = 0; j < num_distinct; ++j) {
+    uint64_t key = sorted_sample[starts[j]];
+    size_t count = starts[j + 1] - starts[j];
+    if (count >= params.delta) {
+      heavy_keys.emplace_back(key, count);
+    } else {
+      range_sample_count[key >> plan.range_shift] += count;
+    }
+  }
+  plan.num_heavy = heavy_keys.size();
+
+  // Heavy buckets: one per heavy key, α·f(count) slots, entry in T.
+  plan.bucket_offset.reserve(plan.num_heavy + 64);
+  plan.bucket_offset.push_back(0);
+  plan.heavy_table = std::make_unique<phase_concurrent_hash_table<uint32_t>>(
+      std::max<size_t>(1, plan.num_heavy));
+  for (size_t h = 0; h < plan.num_heavy; ++h) {
+    auto [key, count] = heavy_keys[h];
+    plan.heavy_table->insert(key, static_cast<uint32_t>(h));
+    plan.bucket_offset.push_back(plan.bucket_offset.back() +
+                                 bucket_capacity(count, n, params, alpha));
+  }
+  plan.heavy_slots_end = plan.bucket_offset.back();
+
+  // Light buckets: merge adjacent ranges until each bucket saw ≥ δ samples
+  // (if enabled); a trailing under-full group is folded into its
+  // predecessor so every bucket meets the threshold when possible.
+  size_t merge_target = std::max(params.delta, params.light_bucket_samples);
+  size_t group_count = 0;
+  size_t group_first_range = 0;
+  auto close_group = [&](size_t last_range_exclusive) {
+    uint32_t id = static_cast<uint32_t>(plan.num_light);
+    for (size_t r = group_first_range; r < last_range_exclusive; ++r)
+      plan.range_to_light_bucket[r] = id;
+    plan.bucket_offset.push_back(plan.bucket_offset.back() +
+                                 bucket_capacity(group_count, n, params, alpha));
+    plan.num_light++;
+    group_count = 0;
+    group_first_range = last_range_exclusive;
+  };
+  for (size_t r = 0; r < num_ranges; ++r) {
+    group_count += range_sample_count[r];
+    bool last = (r + 1 == num_ranges);
+    if (!params.merge_light_buckets || group_count >= merge_target) {
+      if (!last) close_group(r + 1);
+    }
+    if (last) {
+      if (plan.num_light > 0 && params.merge_light_buckets &&
+          group_count < merge_target) {
+        // Fold trailing remainder into the previous group: regrow its
+        // capacity and remap its ranges.
+        plan.num_light--;
+        plan.bucket_offset.pop_back();
+        // Recover the previous group's first range.
+        size_t prev_first = group_first_range;
+        while (prev_first > 0 &&
+               plan.range_to_light_bucket[prev_first - 1] ==
+                   static_cast<uint32_t>(plan.num_light))
+          prev_first--;
+        size_t prev_count = 0;
+        // Previous group's sample count must be re-derived.
+        for (size_t r2 = prev_first; r2 < group_first_range; ++r2)
+          prev_count += range_sample_count[r2];
+        group_count += prev_count;
+        group_first_range = prev_first;
+      }
+      close_group(num_ranges);
+    }
+  }
+  plan.total_slots = plan.bucket_offset.back();
+  return plan;
+}
+
+}  // namespace parsemi

@@ -1,0 +1,64 @@
+// collect_reduce — the MapReduce "shuffle + reduce" built on the semisort.
+//
+// Takes (key, value) pairs, groups pairs with equal keys using the
+// semisort, and folds each group's values with a user monoid. This is the
+// paper's flagship application (§1: "the core of the MapReduce paradigm").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/group_by.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+// Reduces values of equal keys: returns one (key, reduced value) per
+// distinct key, in no particular key order (semisort semantics).
+//
+//   HashFn:   K → uint64_t
+//   ReduceFn: (V, V) → V, associative; `identity` is its unit.
+template <typename K, typename V, typename HashFn, typename ReduceFn,
+          typename Eq = std::equal_to<>>
+std::vector<std::pair<K, V>> collect_reduce(
+    std::span<const std::pair<K, V>> pairs, HashFn hash, ReduceFn reduce_fn,
+    V identity = V{}, Eq eq = {}, const semisort_params& params = {}) {
+  auto groups = group_by(
+      pairs, [](const std::pair<K, V>& kv) -> const K& { return kv.first; },
+      hash, eq, params);
+  size_t k = groups.num_groups();
+  std::vector<std::pair<K, V>> out(k);
+  parallel_for(
+      0, k,
+      [&](size_t g) {
+        auto grp = groups.group(g);
+        V acc = identity;
+        for (const auto& kv : grp) acc = reduce_fn(acc, kv.second);
+        out[g] = {grp.front().first, acc};
+      },
+      1);
+  return out;
+}
+
+// Histogram convenience: counts occurrences of each distinct key.
+template <typename K, typename HashFn, typename Eq = std::equal_to<>>
+std::vector<std::pair<K, size_t>> count_by_key(
+    std::span<const K> keys, HashFn hash, Eq eq = {},
+    const semisort_params& params = {}) {
+  auto groups = group_by(
+      keys, [](const K& key) -> const K& { return key; }, hash, eq, params);
+  size_t k = groups.num_groups();
+  std::vector<std::pair<K, size_t>> out(k);
+  parallel_for(
+      0, k,
+      [&](size_t g) {
+        auto grp = groups.group(g);
+        out[g] = {grp.front(), grp.size()};
+      },
+      1);
+  return out;
+}
+
+}  // namespace parsemi

@@ -1,0 +1,41 @@
+// The Chernoff-derived size estimator of §3.1.
+//
+// Given s sampled occurrences of a key set K (sampling probability p) and a
+// failure exponent c, f(s) upper-bounds the true number of occurrences in
+// the input with probability ≥ 1 − n^−c (Lemma 3.2):
+//
+//     f(s) = ( s + c·ln n + sqrt(c²·ln²n + 2·s·c·ln n) ) / p
+//
+// and Σ f(s_i) over all buckets is Θ(n) in expectation (Lemma 3.5), which is
+// what makes allocating α·f(s) slots per bucket linear-space overall.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "core/params.h"
+
+namespace parsemi {
+
+// f(s) evaluated for input size n. Monotonically increasing in s, and at
+// least s/p (the expectation) plus a 2c·ln(n)/p additive floor at s = 0.
+inline double f_estimate(double s, size_t n, double p, double c) {
+  double cln = c * std::log(static_cast<double>(n < 2 ? 2 : n));
+  return (s + cln + std::sqrt(cln * cln + 2.0 * s * cln)) / p;
+}
+
+// Number of storage slots allocated for a bucket with s sample hits:
+// α·f(s), optionally rounded up to the next power of two (§4 Phase 2).
+// `alpha_override` lets the retry loop grow capacities after an overflow.
+inline size_t bucket_capacity(size_t s, size_t n, const semisort_params& params,
+                              double alpha_override) {
+  double raw = alpha_override * f_estimate(static_cast<double>(s), n,
+                                           params.sampling_p, params.c);
+  auto slots = static_cast<size_t>(std::ceil(raw));
+  if (slots < 1) slots = 1;
+  if (params.round_to_pow2) slots = std::bit_ceil(slots);
+  return slots;
+}
+
+}  // namespace parsemi

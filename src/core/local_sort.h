@@ -1,0 +1,109 @@
+// Phase 4 — local sort of the light buckets (§4 Phase 4; step 7c of Alg. 1).
+//
+// Each light bucket is first compacted in place (occupied slots move to the
+// bucket's start, preserving order) and then semisorted. Buckets are
+// processed in parallel but each bucket sequentially: w.h.p. a light bucket
+// holds O(log²n) records over O(log²n) distinct keys, so the per-bucket
+// work is tiny, cache-resident, and there are far more buckets than
+// workers.
+//
+// Two per-bucket algorithms:
+//   * std_sort — the paper's final choice (§4): introsort by hashed key.
+//   * counting_by_naming — the §3 theoretical path: assign dense labels to
+//     the bucket's distinct keys with a small hash table (the *naming
+//     problem*), then one stable counting sort by label. Groups come out
+//     contiguous but NOT ordered by hash value — a useful property test
+//     that callers only rely on the semisort contract.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bucket_plan.h"
+#include "core/params.h"
+#include "core/scatter.h"
+#include "hashing/hash64.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+namespace internal {
+
+// Sequential naming + counting sort for one small bucket.
+template <typename Record, typename GetKey>
+void counting_sort_by_naming(std::span<Record> bucket, GetKey& get_key) {
+  size_t n = bucket.size();
+  if (n <= 1) return;
+  size_t cap = std::bit_ceil(2 * n);
+  size_t mask = cap - 1;
+  constexpr uint32_t kNoLabel = ~0u;
+  // Open-addressing naming table: key → dense label in first-seen order.
+  std::vector<uint64_t> table_key(cap);
+  std::vector<uint32_t> table_label(cap, kNoLabel);
+  std::vector<uint32_t> labels(n);
+  uint32_t next_label = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = get_key(bucket[i]);
+    size_t slot = murmur_mix64(key) & mask;
+    for (;;) {
+      if (table_label[slot] == kNoLabel) {
+        table_key[slot] = key;
+        table_label[slot] = next_label++;
+        break;
+      }
+      if (table_key[slot] == key) break;
+      slot = (slot + 1) & mask;
+    }
+    labels[i] = table_label[slot];
+  }
+  // Stable counting sort by label.
+  std::vector<size_t> counts(next_label + 1, 0);
+  for (uint32_t l : labels) counts[l + 1]++;
+  for (size_t l = 1; l <= next_label; ++l) counts[l] += counts[l - 1];
+  std::vector<Record> tmp(n);
+  for (size_t i = 0; i < n; ++i) tmp[counts[labels[i]]++] = bucket[i];
+  std::copy(tmp.begin(), tmp.end(), bucket.begin());
+}
+
+}  // namespace internal
+
+// Compacts and semisorts every light bucket; light_counts[j] receives the
+// number of records in light bucket j after compaction.
+template <typename Record, typename GetKey>
+void local_sort_light_buckets(scatter_storage<Record>& storage,
+                              const bucket_plan& plan, GetKey get_key,
+                              const semisort_params& params,
+                              std::vector<size_t>& light_counts) {
+  light_counts.assign(plan.num_light, 0);
+  parallel_for(
+      0, plan.num_light,
+      [&](size_t j) {
+        size_t lo = plan.bucket_offset[plan.num_heavy + j];
+        size_t hi = plan.bucket_offset[plan.num_heavy + j + 1];
+        // In-place compaction: order-preserving two-pointer sweep.
+        size_t w = lo;
+        for (size_t r = lo; r < hi; ++r) {
+          if (storage.occupied(r)) {
+            if (w != r) storage.slots[w] = storage.slots[r];
+            ++w;
+          }
+        }
+        light_counts[j] = w - lo;
+        std::span<Record> bucket(storage.slots.data() + lo, w - lo);
+        if (params.local_sort ==
+            semisort_params::local_sort_algo::counting_by_naming) {
+          internal::counting_sort_by_naming(bucket, get_key);
+        } else {
+          std::sort(bucket.begin(), bucket.end(),
+                    [&](const Record& a, const Record& b) {
+                      return get_key(a) < get_key(b);
+                    });
+        }
+      },
+      1);
+}
+
+}  // namespace parsemi

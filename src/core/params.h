@@ -1,0 +1,119 @@
+// Tuning parameters and instrumentation for the parallel semisort.
+//
+// Defaults are the paper's (§4): sampling probability p = 1/16, heavy
+// threshold δ = 16, 2^16 light-key hash ranges, bucket sizes 1.1·f(s) with
+// c = 1.25, adjacent-light-bucket merging on. Two documented deviations:
+// capacities are not rounded up to powers of two (see round_to_pow2), and
+// light buckets merge to a fixed sample occupancy rather than bare δ (see
+// light_bucket_samples); both knobs restore the paper's literal choices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/workspace.h"
+#include "util/timer.h"
+
+namespace parsemi {
+
+// Counters filled by a semisort run when requested — benches use these for
+// the "% heavy records" columns of Table 1 / Figure 1 and for memory
+// accounting in the ablations.
+struct semisort_stats {
+  size_t n = 0;
+  size_t sample_size = 0;
+  size_t num_heavy_keys = 0;
+  size_t num_light_buckets = 0;   // after merging
+  size_t heavy_records = 0;       // records routed to heavy buckets
+  size_t total_slots = 0;         // allocated bucket storage (slots)
+  size_t heavy_slots = 0;
+  int restarts = 0;               // Las-Vegas retries (overflow etc.)
+
+  double heavy_fraction() const {
+    return n == 0 ? 0.0 : static_cast<double>(heavy_records) / static_cast<double>(n);
+  }
+  // Space blow-up of the intermediate bucket array relative to the input.
+  double slots_per_record() const {
+    return n == 0 ? 0.0 : static_cast<double>(total_slots) / static_cast<double>(n);
+  }
+};
+
+struct semisort_params {
+  // --- the paper's constants (§4) ---
+  double sampling_p = 1.0 / 16.0;   // each record sampled with prob. p
+  size_t delta = 16;                // heavy ⟺ ≥ δ occurrences in the sample
+  size_t num_hash_ranges = 1 << 16; // light-key partition of the hash space
+  double c = 1.25;                  // Chernoff constant in f(s)  (§3.1)
+  double alpha = 1.1;               // slack factor on f(s)
+  // The paper rounds bucket capacities up to a power of two; our probing
+  // wraps with a compare (no mask), so rounding buys nothing and costs up
+  // to 2x memory exactly for borderline-heavy keys (s ≈ δ), where α·f(s)
+  // already overshoots the true count several-fold. Default off; the knob
+  // remains for the ablation benches.
+  bool round_to_pow2 = false;
+  bool merge_light_buckets = true;  // §4 Phase 2 optimization (merge
+                                    // neighbouring ranges into one bucket)
+  // Sample-count target per merged light bucket. The paper merges to "at
+  // least δ" records in S, but its default configuration (2^16 ranges at
+  // n = 10^8, p = 1/16) already yields ≈ 95 samples per range, which is
+  // what keeps the relative overshoot of f(s) small (f(s)·p/s ≈ 2). We use
+  // that effective occupancy as the explicit merge target so the allocation
+  // stays ~2-3 slots/record at every input size, not just at n = 10^8.
+  size_t light_bucket_samples = 96;
+
+  // --- implementation policy knobs (ablations) ---
+  enum class local_sort_algo : uint8_t {
+    std_sort,           // §4 Phase 4 final choice
+    counting_by_naming  // §3 step 7c theoretical path (naming + counting sort)
+  };
+  local_sort_algo local_sort = local_sort_algo::std_sort;
+
+  enum class sample_sorter : uint8_t {
+    radix,      // §4 Phase 1's choice (PBBS-style top-down radix sort)
+    merge_sort, // Cole-style parallel mergesort (the §3 theoretical choice)
+    std_sort    // sequential std::sort (sanity baseline)
+  };
+  sample_sorter sample_sort_with = sample_sorter::radix;
+
+  enum class probe_strategy : uint8_t {
+    linear,   // §4 Phase 3: CAS then next location (cache-friendly)
+    random    // §3 step 6b: fresh random location per round
+  };
+  probe_strategy probing = probe_strategy::linear;
+
+  size_t pack_intervals = 1000;     // §4 Phase 5 heavy-region pack intervals
+
+  // --- robustness / bookkeeping ---
+  uint64_t seed = 42;               // randomness for sampling & scatter
+  int max_retries = 4;              // restarts (α doubles each time)
+  size_t sequential_cutoff = 256;   // below this, just std::sort by key
+  phase_timer* timings = nullptr;   // optional per-phase breakdown
+  semisort_stats* stats = nullptr;  // optional counters
+  semisort_workspace* workspace = nullptr;  // optional reusable scratch
+                                    // (see core/workspace.h); not
+                                    // thread-safe across concurrent calls
+
+  // Rejects configurations the algorithm cannot run with. Called by the
+  // public entry points; throws std::invalid_argument naming the offending
+  // field.
+  void validate() const;
+};
+
+inline void semisort_params::validate() const {
+  auto reject = [](const char* what) {
+    throw std::invalid_argument(std::string("semisort_params: ") + what);
+  };
+  if (!(sampling_p > 0.0) || sampling_p > 1.0)
+    reject("sampling_p must be in (0, 1]");
+  if (delta < 1) reject("delta must be >= 1");
+  if (!(c > 0.0)) reject("c must be positive");
+  if (!(alpha > 0.0)) reject("alpha must be positive");
+  if (num_hash_ranges < 2) reject("num_hash_ranges must be >= 2");
+  if (light_bucket_samples < 1) reject("light_bucket_samples must be >= 1");
+  if (pack_intervals < 1) reject("pack_intervals must be >= 1");
+  if (max_retries < 0) reject("max_retries must be >= 0");
+}
+
+}  // namespace parsemi

@@ -1,0 +1,119 @@
+// Relational operators built on the semisort — the paper's database
+// motivation (§1: join and groupBy). These are the library-level versions
+// of what examples/hash_join.cpp demonstrates inline.
+//
+//   equi_join:       R ⋈ S on 64-bit (pre-hashed) join keys; emits the
+//                    per-key cross product via one semisort over the tagged
+//                    union of both relations, with exact output sizing.
+//   group_aggregate: SELECT key, agg(value) GROUP BY key.
+//
+// Both are O(|R| + |S| + |output|) expected work and polylog depth, the
+// semisort-based strategy from the main-memory join literature the paper
+// cites (Balkesen et al.).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/group_by.h"
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+// A join result row: the payloads of one matching (left, right) pair.
+struct join_row {
+  uint64_t key;
+  uint64_t left_value;
+  uint64_t right_value;
+  friend bool operator==(const join_row&, const join_row&) = default;
+};
+
+// Inner equi-join of two relations given as (key, value) records. Keys are
+// treated as pre-hashed 64-bit values (hash raw keys first, as everywhere
+// in parsemi). Output order is unspecified beyond "grouped by key".
+template <typename LeftRecord, typename RightRecord, typename LeftKey,
+          typename LeftValue, typename RightKey, typename RightValue>
+std::vector<join_row> equi_join(std::span<const LeftRecord> left,
+                                std::span<const RightRecord> right,
+                                LeftKey left_key, LeftValue left_value,
+                                RightKey right_key, RightValue right_value,
+                                const semisort_params& params = {}) {
+  struct tagged {
+    uint64_t key;   // first word → key-CAS fast path
+    uint64_t value;
+    uint64_t side;  // 0 = left, 1 = right
+  };
+  size_t nl = left.size(), nr = right.size();
+  std::vector<tagged> all(nl + nr);
+  parallel_for(0, nl, [&](size_t i) {
+    all[i] = {left_key(left[i]), left_value(left[i]), 0};
+  });
+  parallel_for(0, nr, [&](size_t i) {
+    all[nl + i] = {right_key(right[i]), right_value(right[i]), 1};
+  });
+
+  auto g = group_by_hashed(std::span<const tagged>(all),
+                           [](const tagged& t) { return t.key; }, params);
+
+  // Exact output sizing: per-group left-count × right-count, scanned.
+  size_t num_groups = g.num_groups();
+  std::vector<size_t> out_offset(num_groups);
+  parallel_for(0, num_groups, [&](size_t grp) {
+    auto span = g.group(grp);
+    size_t lefts = 0;
+    for (const auto& t : span) lefts += (t.side == 0);
+    out_offset[grp] = lefts * (span.size() - lefts);
+  });
+  size_t out_size = scan_exclusive_inplace(std::span<size_t>(out_offset));
+
+  std::vector<join_row> out(out_size);
+  parallel_for(
+      0, num_groups,
+      [&](size_t grp) {
+        auto span = g.group(grp);
+        size_t w = out_offset[grp];
+        for (const auto& a : span) {
+          if (a.side != 0) continue;
+          for (const auto& b : span) {
+            if (b.side == 1) out[w++] = {a.key, a.value, b.value};
+          }
+        }
+      },
+      1);
+  return out;
+}
+
+// SELECT key, fold(values) GROUP BY key over (key, value) records with
+// pre-hashed keys. Returns one row per distinct key.
+template <typename Record, typename GetKey, typename GetValue, typename Acc,
+          typename Fold>
+std::vector<std::pair<uint64_t, Acc>> group_aggregate(
+    std::span<const Record> rows, GetKey get_key, GetValue get_value,
+    Acc init, Fold fold, const semisort_params& params = {}) {
+  struct kv {
+    uint64_t key;
+    uint64_t value;
+  };
+  std::vector<kv> tagged(rows.size());
+  parallel_for(0, rows.size(), [&](size_t i) {
+    tagged[i] = {get_key(rows[i]), get_value(rows[i])};
+  });
+  auto g = group_by_hashed(std::span<const kv>(tagged),
+                           [](const kv& t) { return t.key; }, params);
+  std::vector<std::pair<uint64_t, Acc>> out(g.num_groups());
+  parallel_for(
+      0, g.num_groups(),
+      [&](size_t grp) {
+        auto span = g.group(grp);
+        Acc acc = init;
+        for (const auto& t : span) acc = fold(std::move(acc), t.value);
+        out[grp] = {span.front().key, std::move(acc)};
+      },
+      1);
+  return out;
+}
+
+}  // namespace parsemi

@@ -1,0 +1,35 @@
+// Phase 1a — sampling (§4 Phase 1).
+//
+// The paper replaces independent Bernoulli(p) sampling with strided
+// sampling: the i-th sample is drawn uniformly from the i-th stride of
+// ~1/p consecutive records. Per key the expected number of samples matches
+// the Bernoulli scheme, the sample size is exactly ⌊n·p⌋ (no variance), and
+// the memory access pattern is sequential-ish.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace parsemi {
+
+template <typename Record, typename GetKey>
+std::vector<uint64_t> sample_keys(std::span<const Record> in, GetKey get_key,
+                                  double sampling_p, rng base) {
+  size_t n = in.size();
+  auto num_samples = static_cast<size_t>(static_cast<double>(n) * sampling_p);
+  std::vector<uint64_t> sample(num_samples);
+  parallel_for(0, num_samples, [&](size_t i) {
+    // Stride boundaries chosen so the strides exactly tile [0, n).
+    size_t lo = (i * n) / num_samples;
+    size_t hi = ((i + 1) * n) / num_samples;
+    size_t pos = lo + base.ith_below(i, hi - lo);
+    sample[i] = get_key(in[pos]);
+  });
+  return sample;
+}
+
+}  // namespace parsemi

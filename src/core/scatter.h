@@ -1,0 +1,200 @@
+// Phase 3 — scattering (§4 Phase 3; steps 6b and 7b of Alg. 1).
+//
+// Every record is written once, to a random slot of its bucket, claiming
+// the slot with a compare-and-swap and linear-probing to the next slot on
+// collision (the paper's cache-friendly replacement for fresh random
+// retries; the original random-retry placement is kept as an ablation).
+//
+// Slot claiming has two modes:
+//   * key-CAS (the paper's): for standard-layout records whose first 8
+//     bytes are the `key` word, the slot's key word doubles as the occupancy
+//     flag — empty slots hold a per-run random sentinel, and the CAS that
+//     claims a slot simultaneously writes the key. One atomic op and one
+//     cache line per record. A record whose key happens to equal the
+//     sentinel (probability n·2⁻⁶⁴) is detected and triggers a restart with
+//     a fresh sentinel, so correctness never depends on luck.
+//   * flag-array: for arbitrary record types, a byte per slot is CAS'd from
+//     0→1 and the record is then stored plainly (the parallel_for join that
+//     ends the phase publishes the stores).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/bucket_plan.h"
+#include "core/params.h"
+#include "core/workspace.h"
+#include "util/default_init_buffer.h"
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace parsemi {
+
+namespace internal {
+
+template <typename Record>
+constexpr bool key_cas_eligible() {
+  if constexpr (requires(Record r) {
+                  requires std::same_as<std::remove_cvref_t<decltype(r.key)>,
+                                        uint64_t>;
+                }) {
+    return std::is_standard_layout_v<Record> &&
+           std::is_trivially_copyable_v<Record> && alignof(Record) >= 8 &&
+           offsetof(Record, key) == 0;
+  } else {
+    return false;
+  }
+}
+
+}  // namespace internal
+
+// The bucket backing array plus occupancy metadata for one semisort run.
+// When a semisort_workspace is supplied, the (large) slot array is borrowed
+// from it instead of allocated fresh — repeated semisorts then skip the
+// allocation and its first-touch page faults.
+template <typename Record>
+struct scatter_storage {
+  static constexpr bool kKeyCas = internal::key_cas_eligible<Record>();
+
+  // Slot array view: backed by owned_ or by the caller's workspace.
+  struct slot_view {
+    Record* ptr = nullptr;
+    size_t count = 0;
+    Record& operator[](size_t i) const { return ptr[i]; }
+    Record* data() const { return ptr; }
+    size_t size() const { return count; }
+  };
+
+  slot_view slots;
+  std::vector<std::atomic<uint8_t>> flags;  // used only when !kKeyCas
+  uint64_t sentinel = 0;
+
+  explicit scatter_storage(size_t total_slots, uint64_t sentinel_value,
+                           semisort_workspace* workspace = nullptr)
+      : sentinel(sentinel_value),
+        owned_(workspace != nullptr ? 0 : total_slots) {
+    slots.ptr = workspace != nullptr ? workspace->acquire<Record>(total_slots)
+                                     : owned_.data();
+    slots.count = total_slots;
+    if constexpr (kKeyCas) {
+      // Only the key words need initializing; payload bytes are written by
+      // the claiming CAS's winner before anyone reads them.
+      parallel_for(0, total_slots, [&](size_t i) { slots[i].key = sentinel; });
+    } else {
+      flags = std::vector<std::atomic<uint8_t>>(total_slots);
+      parallel_for(0, total_slots, [&](size_t i) {
+        flags[i].store(0, std::memory_order_relaxed);
+      });
+    }
+  }
+
+ private:
+  internal::default_init_buffer<Record> owned_;
+
+ public:
+  // Valid between phases (after a parallel_for join).
+  bool occupied(size_t i) const {
+    if constexpr (kKeyCas) {
+      return slots[i].key != sentinel;
+    } else {
+      return flags[i].load(std::memory_order_relaxed) != 0;
+    }
+  }
+
+  // Attempts to claim slot `i` for `rec`; false if the slot is taken.
+  bool try_claim(size_t i, const Record& rec) {
+    if constexpr (kKeyCas) {
+      std::atomic_ref<uint64_t> key_word(slots[i].key);
+      uint64_t expected = sentinel;
+      if (key_word.load(std::memory_order_relaxed) != sentinel) return false;
+      if (!key_word.compare_exchange_strong(expected, rec.key,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        return false;
+      }
+      // The CAS already published the key word; copy the rest of the record
+      // without touching the first 8 bytes (they stay atomic-only).
+      if constexpr (sizeof(Record) > 8) {
+        std::memcpy(reinterpret_cast<char*>(&slots[i]) + 8,
+                    reinterpret_cast<const char*>(&rec) + 8,
+                    sizeof(Record) - 8);
+      }
+      return true;
+    } else {
+      uint8_t expected = 0;
+      if (flags[i].load(std::memory_order_relaxed) != 0) return false;
+      if (!flags[i].compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        return false;
+      }
+      slots[i] = rec;
+      return true;
+    }
+  }
+};
+
+enum class scatter_result { ok, overflow, sentinel_clash };
+
+// Places every input record into a slot of its bucket. Returns `overflow`
+// if some bucket had no free slot (caller retries with larger α), and
+// `sentinel_clash` in key-CAS mode if an input key equals the sentinel
+// (caller retries with a fresh sentinel).
+template <typename Record, typename GetKey>
+scatter_result scatter_records(std::span<const Record> in,
+                               scatter_storage<Record>& storage,
+                               const bucket_plan& plan, GetKey get_key,
+                               const semisort_params& params, rng base) {
+  std::atomic<bool> overflow{false};
+  std::atomic<bool> clash{false};
+  const bool random_probing =
+      params.probing == semisort_params::probe_strategy::random;
+
+  parallel_for(0, in.size(), [&](size_t i) {
+    if (overflow.load(std::memory_order_relaxed) ||
+        clash.load(std::memory_order_relaxed))
+      return;
+    const Record& rec = in[i];
+    uint64_t key = get_key(rec);
+    if constexpr (scatter_storage<Record>::kKeyCas) {
+      if (rec.key == storage.sentinel) {
+        clash.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    size_t b = plan.bucket_of(key);
+    size_t off = plan.bucket_offset[b];
+    size_t cap = plan.bucket_offset[b + 1] - off;
+
+    if (random_probing) {
+      // §3's theoretical placement: fresh random slot per round.
+      rng r = base.split(i);
+      size_t max_attempts = 16 * cap + 64;
+      for (size_t t = 0; t < max_attempts; ++t) {
+        if (storage.try_claim(off + r.next_below(cap), rec)) return;
+      }
+      overflow.store(true, std::memory_order_relaxed);
+    } else {
+      // §4's practical placement: one random start, then linear probing —
+      // collisions land on the same cache line.
+      size_t start = base.ith_below(i, cap);
+      size_t pos = start;
+      for (size_t t = 0; t < cap; ++t) {
+        if (storage.try_claim(off + pos, rec)) return;
+        if (++pos == cap) pos = 0;
+      }
+      overflow.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  if (clash.load(std::memory_order_relaxed)) return scatter_result::sentinel_clash;
+  if (overflow.load(std::memory_order_relaxed)) return scatter_result::overflow;
+  return scatter_result::ok;
+}
+
+}  // namespace parsemi

@@ -1,0 +1,280 @@
+// Public semisort API — the paper's contribution (Algorithm 1).
+//
+//   semisort_hashed  — records carry pre-hashed 64-bit keys (the paper's
+//                      experimental setting, §5.1). Records with equal keys
+//                      end up contiguous in the output. O(n) expected work,
+//                      O(log n) depth w.h.p.
+//   semisort         — arbitrary keys: hashes internally, verifies that no
+//                      two distinct keys collided (Las Vegas: re-hashes with
+//                      a new seed on collision), returns the reordered input.
+//
+// Pipeline (all phases named as in §4, surfaced via params.timings):
+//   1. "sample and sort"    — strided sample of hashed keys, radix-sorted
+//   2. "construct buckets"  — heavy/light split, f(s)-sized bucket layout
+//   3. "scatter"            — one CAS write per record into its bucket
+//   4. "local sort"         — compact + sort each light bucket
+//   5. "pack"               — compact everything into the output
+// Bucket overflow (probability ≤ n^{-c+1}/log²n, Corollary 3.4) and the
+// astronomically-unlikely sentinel clash restart the run with doubled α /
+// fresh randomness, making the whole routine Las Vegas.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bucket_plan.h"
+#include "core/local_sort.h"
+#include "core/pack_phase.h"
+#include "core/params.h"
+#include "core/sampler.h"
+#include "core/scatter.h"
+#include "hashing/hash64.h"
+#include "primitives/merge.h"
+#include "sort/radix_sort.h"
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+
+namespace internal {
+
+template <typename Record, typename GetKey>
+bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
+                      GetKey get_key, const semisort_params& params,
+                      double alpha, uint64_t attempt_salt) {
+  size_t n = in.size();
+  rng base(splitmix64(params.seed + 0x9e3779b9ULL * attempt_salt));
+  phase_timer* pt = params.timings;
+  if (pt != nullptr) pt->start();
+
+  // Phase 1 — sample and sort.
+  std::vector<uint64_t> sample =
+      sample_keys(in, get_key, params.sampling_p, base.split(1));
+  switch (params.sample_sort_with) {
+    case semisort_params::sample_sorter::radix:
+      radix_sort_u64(std::span<uint64_t>(sample));
+      break;
+    case semisort_params::sample_sorter::merge_sort:
+      parallel_merge_sort(std::span<uint64_t>(sample));
+      break;
+    case semisort_params::sample_sorter::std_sort:
+      std::sort(sample.begin(), sample.end());
+      break;
+  }
+  if (pt != nullptr) pt->record("sample and sort");
+
+  // Phase 2 — construct buckets.
+  bucket_plan plan = build_bucket_plan(std::span<const uint64_t>(sample), n,
+                                       params, alpha);
+  if (pt != nullptr) pt->record("construct buckets");
+
+  // Phase 3 — scatter.
+  scatter_storage<Record> storage(plan.total_slots, base.split(2).next() | 1,
+                                  params.workspace);
+  scatter_result result =
+      scatter_records(in, storage, plan, get_key, params, base.split(3));
+  if (pt != nullptr) pt->record("scatter");
+  if (result != scatter_result::ok) return false;
+
+  // Phase 4 — local sort.
+  std::vector<size_t> light_counts;
+  local_sort_light_buckets(storage, plan, get_key, params, light_counts);
+  if (pt != nullptr) pt->record("local sort");
+
+  // Stats are gathered before the pack so that `out` may alias `in`
+  // (the in-place entry point): every input record already lives in
+  // `storage`, and nothing below reads `in` again.
+  if (params.stats != nullptr) {
+    semisort_stats& st = *params.stats;
+    st.n = n;
+    st.sample_size = sample.size();
+    st.num_heavy_keys = plan.num_heavy;
+    st.num_light_buckets = plan.num_light;
+    st.total_slots = plan.total_slots;
+    st.heavy_slots = plan.heavy_slots_end;
+    st.heavy_records =
+        plan.num_heavy == 0
+            ? 0
+            : count_if_index(n, [&](size_t i) {
+                return plan.heavy_table->contains(get_key(in[i]));
+              });
+  }
+
+  // Phase 5 — pack.
+  size_t written = pack_output(storage, plan,
+                               std::span<const size_t>(light_counts), out,
+                               params);
+  if (pt != nullptr) pt->record("pack");
+  if (written != n) {
+    // Every record was claimed exactly once, so this can only mean a bug.
+    throw std::logic_error("parsemi::semisort: packed " +
+                           std::to_string(written) + " of " +
+                           std::to_string(n) + " records");
+  }
+  return true;
+}
+
+}  // namespace internal
+
+// Semisorts `in` into `out` (same length) by the 64-bit hashed key
+// `get_key(record)`. Keys are assumed uniformly distributed over 64 bits
+// (pre-hashed); use parsemi::semisort for raw keys.
+template <typename Record, typename GetKey = record_key>
+void semisort_hashed(std::span<const Record> in, std::span<Record> out,
+                     GetKey get_key = {},
+                     const semisort_params& params = {}) {
+  size_t n = in.size();
+  if (out.size() != n)
+    throw std::invalid_argument("parsemi::semisort_hashed: output size mismatch");
+  params.validate();
+  if (n == 0) return;
+  if (n < params.sequential_cutoff || n < 4) {
+    std::copy(in.begin(), in.end(), out.begin());
+    std::sort(out.begin(), out.end(), [&](const Record& a, const Record& b) {
+      return get_key(a) < get_key(b);
+    });
+    return;
+  }
+  if (params.stats != nullptr) *params.stats = {};
+  double alpha = params.alpha;
+  for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+    if (params.timings != nullptr && attempt > 0) params.timings->clear();
+    if (internal::semisort_attempt(in, out, get_key, params, alpha,
+                                   static_cast<uint64_t>(attempt))) {
+      if (params.stats != nullptr) params.stats->restarts = attempt;
+      return;
+    }
+    alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
+  }
+  throw std::runtime_error(
+      "parsemi::semisort_hashed: bucket overflow persisted after retries");
+}
+
+// Convenience: returns the semisorted copy.
+template <typename Record, typename GetKey = record_key>
+std::vector<Record> semisort_hashed(std::span<const Record> in,
+                                    GetKey get_key = {},
+                                    const semisort_params& params = {}) {
+  std::vector<Record> out(in.size());
+  semisort_hashed(in, std::span<Record>(out), get_key, params);
+  return out;
+}
+
+// In-place semisort: reorders `data` directly. Works because the
+// algorithm consumes its input during the scatter phase — every record is
+// already in the bucket array before the pack writes the output — and all
+// Las-Vegas retries trigger before the pack, while the input is still
+// intact. Same cost as the copying version minus the output allocation.
+template <typename Record, typename GetKey = record_key>
+void semisort_hashed_inplace(std::span<Record> data, GetKey get_key = {},
+                             const semisort_params& params = {}) {
+  size_t n = data.size();
+  params.validate();
+  if (n == 0) return;
+  if (n < params.sequential_cutoff || n < 4) {
+    std::sort(data.begin(), data.end(),
+              [&](const Record& a, const Record& b) {
+                return get_key(a) < get_key(b);
+              });
+    return;
+  }
+  if (params.stats != nullptr) *params.stats = {};
+  double alpha = params.alpha;
+  for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+    if (params.timings != nullptr && attempt > 0) params.timings->clear();
+    if (internal::semisort_attempt(std::span<const Record>(data), data,
+                                   get_key, params, alpha,
+                                   static_cast<uint64_t>(attempt))) {
+      if (params.stats != nullptr) params.stats->restarts = attempt;
+      return;
+    }
+    alpha *= 2.0;
+  }
+  throw std::runtime_error(
+      "parsemi::semisort_hashed_inplace: bucket overflow persisted after retries");
+}
+
+// General semisort for arbitrary key types: hashes keys to 64 bits,
+// semisorts the (hash, index) tags, then repairs any run of equal hashes
+// that actually mixes distinct keys (a hash collision) by regrouping the
+// run locally with the real equality test. With any reasonable 64-bit hash
+// the repair never triggers (collision probability ≲ n²/2⁶⁵), so this is
+// the Las-Vegas conversion of §3 — but unlike a restart it also terminates
+// under an adversarially bad user hash (at O(run·distinct) local cost).
+//
+//   KeyFn : T → K       (key of a record)
+//   HashFn: K → uint64  (64-bit hash; parsemi::hash64 / hash_string / …)
+//   Eq    : K × K → bool (defaults to operator==)
+template <typename T, typename KeyFn, typename HashFn,
+          typename Eq = std::equal_to<>>
+std::vector<T> semisort(std::span<const T> in, KeyFn key_of, HashFn hash,
+                        Eq eq = {}, const semisort_params& params = {}) {
+  size_t n = in.size();
+  struct tagged {        // key-first layout → key-CAS fast path applies
+    uint64_t key;        // hashed key
+    uint64_t index;      // position in `in`
+  };
+  std::vector<tagged> tags(n);
+  parallel_for(0, n, [&](size_t i) {
+    tags[i] = tagged{hash(key_of(in[i])), static_cast<uint64_t>(i)};
+  });
+  std::vector<tagged> sorted(n);
+  semisort_hashed(std::span<const tagged>(tags), std::span<tagged>(sorted),
+                  [](const tagged& t) { return t.key; }, params);
+
+  // Hash-collision repair. Equal hashes are contiguous after the semisort,
+  // so it suffices to examine each run of equal hashes: if it holds more
+  // than one distinct key, stably regroup it in place by real equality.
+  if (n > 0) {
+    std::vector<size_t> run_start = pack_index(n, [&](size_t i) {
+      return i == 0 || sorted[i].key != sorted[i - 1].key;
+    });
+    run_start.push_back(n);
+    parallel_for(
+        0, run_start.size() - 1,
+        [&](size_t r) {
+          size_t lo = run_start[r], hi = run_start[r + 1];
+          if (hi - lo < 2) return;
+          const auto& first_key = key_of(in[sorted[lo].index]);
+          bool mixed = false;
+          for (size_t i = lo + 1; i < hi; ++i) {
+            if (!eq(key_of(in[sorted[i].index]), first_key)) {
+              mixed = true;
+              break;
+            }
+          }
+          if (!mixed) return;
+          // Distinct keys collided in the hash: bucket the run's elements
+          // by equality classes (first-seen order keeps this stable).
+          std::vector<std::vector<tagged>> classes;
+          for (size_t i = lo; i < hi; ++i) {
+            const auto& k = key_of(in[sorted[i].index]);
+            bool placed = false;
+            for (auto& cls : classes) {
+              if (eq(k, key_of(in[cls.front().index]))) {
+                cls.push_back(sorted[i]);
+                placed = true;
+                break;
+              }
+            }
+            if (!placed) classes.push_back({sorted[i]});
+          }
+          size_t w = lo;
+          for (auto& cls : classes)
+            for (auto& t : cls) sorted[w++] = t;
+        },
+        1);
+  }
+
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](size_t i) { out[i] = in[sorted[i].index]; });
+  return out;
+}
+
+}  // namespace parsemi

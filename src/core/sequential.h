@@ -1,0 +1,127 @@
+// Sequential semisort baselines (§5.4).
+//
+// The paper compares its single-thread running time against a simple
+// chained-hash-table semisort (and finds the parallel algorithm ~20% faster
+// on one thread, because the baseline chases linked lists while the
+// algorithm writes once into size-estimated arrays). It also mentions
+// trying, and rejecting as slower: STL containers-of-vectors, open
+// addressing with chained records, and a two-phase count-then-place scheme.
+// All four are implemented here so the comparison is reproducible.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+
+// (1) Chained hash table: open addressing on keys, each entry heads an
+// index-based linked list of its records (the paper's main baseline).
+template <typename Record, typename GetKey = record_key>
+std::vector<Record> semisort_seq_chained(std::span<const Record> in,
+                                         GetKey get_key = {}) {
+  size_t n = in.size();
+  std::vector<Record> out(n);
+  if (n == 0) return out;
+  size_t cap = std::bit_ceil(2 * n);
+  size_t mask = cap - 1;
+  constexpr uint64_t kNone = ~0ULL;
+  std::vector<uint64_t> slot_key(cap);
+  std::vector<uint64_t> slot_head(cap, kNone);  // kNone doubles as "empty"
+  std::vector<uint8_t> slot_used(cap, 0);
+  std::vector<uint64_t> next(n);  // linked list through record indices
+
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = get_key(in[i]);
+    size_t s = murmur_mix64(key) & mask;
+    while (slot_used[s] && slot_key[s] != key) s = (s + 1) & mask;
+    if (!slot_used[s]) {
+      slot_used[s] = 1;
+      slot_key[s] = key;
+      slot_head[s] = kNone;
+    }
+    next[i] = slot_head[s];
+    slot_head[s] = i;
+  }
+  size_t w = 0;
+  for (size_t s = 0; s < cap; ++s) {
+    if (!slot_used[s]) continue;
+    for (uint64_t i = slot_head[s]; i != kNone; i = next[i]) out[w++] = in[i];
+  }
+  return out;
+}
+
+// (2) Two-phase: count multiplicities with a hash table, prefix-sum the
+// counts into offsets, then place every record directly.
+template <typename Record, typename GetKey = record_key>
+std::vector<Record> semisort_seq_two_phase(std::span<const Record> in,
+                                           GetKey get_key = {}) {
+  size_t n = in.size();
+  std::vector<Record> out(n);
+  if (n == 0) return out;
+  size_t cap = std::bit_ceil(2 * n);
+  size_t mask = cap - 1;
+  std::vector<uint64_t> slot_key(cap);
+  std::vector<uint64_t> slot_count(cap, 0);
+  std::vector<uint8_t> slot_used(cap, 0);
+
+  auto probe = [&](uint64_t key) {
+    size_t s = murmur_mix64(key) & mask;
+    while (slot_used[s] && slot_key[s] != key) s = (s + 1) & mask;
+    return s;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    size_t s = probe(get_key(in[i]));
+    if (!slot_used[s]) {
+      slot_used[s] = 1;
+      slot_key[s] = get_key(in[i]);
+    }
+    slot_count[s]++;
+  }
+  uint64_t offset = 0;
+  for (size_t s = 0; s < cap; ++s) {
+    if (!slot_used[s]) continue;
+    uint64_t c = slot_count[s];
+    slot_count[s] = offset;  // becomes the write cursor
+    offset += c;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t s = probe(get_key(in[i]));
+    out[slot_count[s]++] = in[i];
+  }
+  return out;
+}
+
+// (3) STL: unordered_map from key to vector of records (the paper's "even
+// less efficient" container-based variant).
+template <typename Record, typename GetKey = record_key>
+std::vector<Record> semisort_seq_stl(std::span<const Record> in,
+                                     GetKey get_key = {}) {
+  std::unordered_map<uint64_t, std::vector<Record>> table;
+  table.reserve(in.size());
+  for (const Record& r : in) table[get_key(r)].push_back(r);
+  std::vector<Record> out;
+  out.reserve(in.size());
+  for (auto& [key, recs] : table)
+    for (const Record& r : recs) out.push_back(r);
+  return out;
+}
+
+// (4) Comparison sort by hashed key (grouping via full sorting).
+template <typename Record, typename GetKey = record_key>
+std::vector<Record> semisort_seq_sort(std::span<const Record> in,
+                                      GetKey get_key = {}) {
+  std::vector<Record> out(in.begin(), in.end());
+  std::sort(out.begin(), out.end(), [&](const Record& a, const Record& b) {
+    return get_key(a) < get_key(b);
+  });
+  return out;
+}
+
+}  // namespace parsemi

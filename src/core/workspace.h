@@ -1,0 +1,52 @@
+// Reusable scratch memory for repeated semisort calls.
+//
+// The bucket backing array (~2-3 slots per record) is the largest
+// allocation of a semisort run; allocating it fresh every call costs a
+// kernel round-trip plus a page-fault per 4 KiB on first touch — measurably
+// seconds at 10^8-record scale. Callers that semisort repeatedly (the
+// MapReduce shuffle, a join pipeline, the benches) can pass a
+// `semisort_workspace` via `semisort_params::workspace` to recycle the
+// buffer across calls, including across different record types and sizes.
+//
+// Not thread-safe: one workspace per concurrent semisort call.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace parsemi {
+
+class semisort_workspace {
+ public:
+  // A buffer for `count` objects of trivial type T. Contents are
+  // unspecified (like default_init_buffer); grows geometrically and is
+  // retained until the workspace is destroyed or shrink() is called.
+  template <typename T>
+  T* acquire(size_t count) {
+    static_assert(std::is_trivially_default_constructible_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    size_t bytes = count * sizeof(T);
+    if (bytes > capacity_) {
+      size_t grown = capacity_ + capacity_ / 2;
+      bytes = bytes > grown ? bytes : grown;
+      buffer_ = std::make_unique_for_overwrite<std::byte[]>(bytes);
+      capacity_ = bytes;
+    }
+    return reinterpret_cast<T*>(buffer_.get());
+  }
+
+  size_t capacity_bytes() const { return capacity_; }
+
+  void shrink() {
+    buffer_.reset();
+    capacity_ = 0;
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> buffer_;  // new[] ⇒ max_align_t-aligned
+  size_t capacity_ = 0;
+};
+
+}  // namespace parsemi

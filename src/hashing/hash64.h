@@ -1,0 +1,55 @@
+// 64-bit hash mixers.
+//
+// The algorithm assumes a uniform hash from keys into [n^k] with k > 2
+// (§3, step 1); with 64-bit outputs and n ≤ 10^9 that is k > 2 as required,
+// and collisions among distinct keys have probability ≲ n²/2⁶⁵. These are
+// finalizer-style bijective mixers, so distinct 64-bit inputs can never
+// collide at all — the Monte-Carlo caveat only applies to hashing wider
+// key types (strings etc., see hash_bytes).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace parsemi {
+
+// MurmurHash3 fmix64 (Austin Appleby, public domain). Bijective.
+inline constexpr uint64_t murmur_mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Default key hash: splitmix64's finalizer (also bijective; passes the
+// PractRand / BigCrush avalanche batteries).
+inline constexpr uint64_t hash64(uint64_t x) { return splitmix64(x); }
+
+// Seeded variant — for re-hashing on a Las-Vegas restart.
+inline constexpr uint64_t hash64_seeded(uint64_t x, uint64_t seed) {
+  return splitmix64(x ^ (0x9e3779b97f4a7c15ULL * seed + seed));
+}
+
+// FNV-1a over raw bytes, finalized with murmur_mix64 — the "arbitrary key
+// type" entry point (e.g. strings in the word-count example).
+inline uint64_t hash_bytes(const void* data, size_t len,
+                           uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return murmur_mix64(h);
+}
+
+inline uint64_t hash_string(std::string_view s) {
+  return hash_bytes(s.data(), s.size());
+}
+
+}  // namespace parsemi

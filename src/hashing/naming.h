@@ -1,0 +1,58 @@
+// The naming problem (§2): given n keys with m distinct values, assign each
+// distinct key a unique dense label in [O(m)].
+//
+// Solved with the phase-concurrent hash table exactly as the paper
+// describes: insert every key (winners get reserved label slots), then a
+// pack over the table assigns dense labels, then a lookup phase labels
+// every position. O(n) expected work, O(log n) depth w.h.p.
+//
+// Used by the Rajasekaran–Reif-style semisort (§3.2's comparison path,
+// which must reduce hash values to the range [n] before integer sorting)
+// and available as a standalone primitive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hashing/phase_concurrent_hash_table.h"
+#include "primitives/pack.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+struct naming_result {
+  std::vector<uint32_t> labels;  // labels[i] = dense label of keys[i]
+  size_t num_distinct = 0;       // labels take values in [0, num_distinct)
+};
+
+// Assigns dense labels in [0, m) to n keys with m distinct values.
+// `expected_distinct` sizes the table (defaults to n).
+inline naming_result name_keys(std::span<const uint64_t> keys,
+                               size_t expected_distinct = 0) {
+  size_t n = keys.size();
+  naming_result result;
+  result.labels.resize(n);
+  if (n == 0) return result;
+
+  // Insert phase: value is a placeholder; the winner's slot index is what
+  // identifies the distinct key.
+  phase_concurrent_hash_table<uint32_t> table(
+      expected_distinct == 0 ? n : expected_distinct);
+  parallel_for(0, n, [&](size_t i) { table.insert(keys[i], 0); });
+
+  // Dense labels: one sweep over the table assigns 0,1,2,… to the occupied
+  // slots in place (a scan of O(capacity) — the same cost class as building
+  // the table).
+  uint32_t label = 0;
+  table.for_each_mutable([&](uint64_t, uint32_t& value) { value = label++; });
+  result.num_distinct = label;
+
+  // Lookup phase: label every position.
+  parallel_for(0, n, [&](size_t i) {
+    result.labels[i] = *table.find(keys[i]);
+  });
+  return result;
+}
+
+}  // namespace parsemi

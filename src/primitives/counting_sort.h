@@ -1,0 +1,81 @@
+// Stable parallel counting sort — the paper's §2 building block and the
+// per-pass workhorse of the radix sort (§4 Phase 1).
+//
+// Three phases over n/B blocks:
+//   1. each block counts its keys per bucket           (parallel, O(n) work)
+//   2. a scan over the (bucket-major) count matrix
+//      turns counts into write offsets                 (O(#blocks·m) work)
+//   3. each block re-reads its elements and writes
+//      them to their offsets                           (parallel, O(n) work)
+// Blocks are processed in order within each bucket and elements in order
+// within each block, so the sort is stable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+// Stably sorts `in` into `out` (same length) by key(in[i]) ∈ [0, num_buckets).
+// If `bucket_starts` is non-null it receives num_buckets+1 boundaries, i.e.
+// bucket b occupies out[(*bucket_starts)[b], (*bucket_starts)[b+1]).
+template <typename T, typename KeyFn>
+void counting_sort(std::span<const T> in, std::span<T> out,
+                   size_t num_buckets, KeyFn&& key,
+                   std::vector<size_t>* bucket_starts = nullptr) {
+  size_t n = in.size();
+  if (bucket_starts != nullptr) bucket_starts->assign(num_buckets + 1, 0);
+  if (n == 0) return;
+
+  // Blocks big enough that the count matrix stays small relative to n, but
+  // enough of them for parallel balance.
+  size_t p = static_cast<size_t>(num_workers());
+  size_t block = std::max<size_t>(std::max<size_t>(num_buckets, 4096),
+                                  n / (8 * p) + 1);
+  size_t num_blocks = (n + block - 1) / block;
+
+  // counts is bucket-major: counts[bucket * num_blocks + block]. Scanning it
+  // linearly then yields, for each (bucket, block), the first write position
+  // of that block's elements of that bucket.
+  std::vector<size_t> counts(num_buckets * num_blocks, 0);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i)
+      counts[key(in[i]) * num_blocks + b]++;
+  });
+
+  size_t total = scan_exclusive_inplace(std::span<size_t>(counts));
+  (void)total;
+
+  if (bucket_starts != nullptr) {
+    // Boundary of bucket b = offset of (bucket b, block 0); final = n.
+    for (size_t q = 0; q < num_buckets; ++q)
+      (*bucket_starts)[q] = counts[q * num_blocks];
+    (*bucket_starts)[num_buckets] = n;
+  }
+
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    // Local cursor per bucket for this block (strided reads of the matrix).
+    std::vector<size_t> cursor(num_buckets);
+    for (size_t q = 0; q < num_buckets; ++q)
+      cursor[q] = counts[q * num_blocks + b];
+    for (size_t i = lo; i < hi; ++i)
+      out[cursor[key(in[i])]++] = in[i];
+  });
+}
+
+// Sequential reference (used for tests and tiny inputs).
+template <typename T, typename KeyFn>
+void counting_sort_seq(std::span<const T> in, std::span<T> out,
+                       size_t num_buckets, KeyFn&& key) {
+  std::vector<size_t> counts(num_buckets + 1, 0);
+  for (const T& x : in) counts[key(x) + 1]++;
+  for (size_t q = 1; q <= num_buckets; ++q) counts[q] += counts[q - 1];
+  for (const T& x : in) out[counts[key(x)]++] = x;
+}
+
+}  // namespace parsemi

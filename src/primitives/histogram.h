@@ -1,0 +1,62 @@
+// Parallel histogram over a small integer range — the counting phase of
+// the stable counting sort exposed as its own primitive (per-block counts,
+// then a column reduction).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+// counts[k] = |{ i : key(a[i]) == k }| for k in [0, num_buckets).
+template <typename T, typename KeyFn>
+std::vector<size_t> histogram(std::span<const T> a, size_t num_buckets,
+                              KeyFn&& key) {
+  size_t n = a.size();
+  size_t p = static_cast<size_t>(num_workers());
+  size_t block = std::max<size_t>(std::max<size_t>(num_buckets, 4096),
+                                  n / (8 * p) + 1);
+  size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+
+  std::vector<size_t> counts(num_buckets * num_blocks, 0);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t* local = counts.data() + b * num_buckets;
+    for (size_t i = lo; i < hi; ++i) local[key(a[i])]++;
+  });
+
+  std::vector<size_t> totals(num_buckets, 0);
+  parallel_for(0, num_buckets, [&](size_t k) {
+    size_t sum = 0;
+    for (size_t b = 0; b < num_blocks; ++b) sum += counts[b * num_buckets + k];
+    totals[k] = sum;
+  });
+  return totals;
+}
+
+// Histogram of raw index-derived keys: counts[k] = |{ i : key(i) == k }|.
+template <typename KeyFn>
+std::vector<size_t> histogram_index(size_t n, size_t num_buckets,
+                                    KeyFn&& key) {
+  size_t p = static_cast<size_t>(num_workers());
+  size_t block = std::max<size_t>(std::max<size_t>(num_buckets, 4096),
+                                  n / (8 * p) + 1);
+  size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+  std::vector<size_t> counts(num_buckets * num_blocks, 0);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t* local = counts.data() + b * num_buckets;
+    for (size_t i = lo; i < hi; ++i) local[key(i)]++;
+  });
+  std::vector<size_t> totals(num_buckets, 0);
+  parallel_for(0, num_buckets, [&](size_t k) {
+    size_t sum = 0;
+    for (size_t b = 0; b < num_blocks; ++b) sum += counts[b * num_buckets + k];
+    totals[k] = sum;
+  });
+  return totals;
+}
+
+}  // namespace parsemi

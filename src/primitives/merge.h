@@ -1,0 +1,101 @@
+// Parallel merge and parallel merge sort.
+//
+// The paper's Phase 1 calls for sorting the sample with Cole's parallel
+// mergesort in theory (O(n log n) work, O(log n) depth) and uses a radix
+// sort in practice. This is the practical parallel mergesort: the merge
+// recursively splits on the larger side's median and binary-searches its
+// position in the other side (O(n) work, O(log² n) depth — the standard
+// work-efficient formulation), and the sort is a balanced two-way recursion
+// over it. Provided both as a primitive and as another Phase-1 option.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+namespace internal {
+inline constexpr size_t kMergeSeqThreshold = 1ull << 13;
+inline constexpr size_t kMergeSortSeqThreshold = 1ull << 13;
+
+// Merges sorted a and b into out (sizes add up). Splits on the midpoint of
+// the larger input; depth O(log(|a|+|b|)) per level, O(log²) total.
+template <typename T, typename Less>
+void parallel_merge_rec(std::span<const T> a, std::span<const T> b,
+                        std::span<T> out, const Less& less) {
+  if (a.size() + b.size() <= kMergeSeqThreshold) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), less);
+    return;
+  }
+  if (a.size() < b.size()) {
+    // Recurse with the larger side as the splitter. Ties between the two
+    // inputs may resolve either way afterwards — fine for a merge that
+    // only promises sorted output (global stability is not needed here).
+    parallel_merge_rec(b, a, out, less);
+    return;
+  }
+  size_t a_mid = a.size() / 2;
+  // First b-position not less than the a-pivot.
+  size_t b_mid = static_cast<size_t>(
+      std::lower_bound(b.begin(), b.end(), a[a_mid], less) - b.begin());
+  out[a_mid + b_mid] = a[a_mid];
+  par_do(
+      [&] {
+        parallel_merge_rec(a.first(a_mid), b.first(b_mid),
+                           out.first(a_mid + b_mid), less);
+      },
+      [&] {
+        parallel_merge_rec(a.subspan(a_mid + 1), b.subspan(b_mid),
+                           out.subspan(a_mid + b_mid + 1), less);
+      });
+}
+
+template <typename T, typename Less>
+void merge_sort_rec(std::span<T> a, std::span<T> buffer, const Less& less,
+                    bool result_in_a) {
+  if (a.size() <= kMergeSortSeqThreshold) {
+    std::sort(a.begin(), a.end(), less);
+    if (!result_in_a) std::copy(a.begin(), a.end(), buffer.begin());
+    return;
+  }
+  size_t mid = a.size() / 2;
+  par_do(
+      [&] { merge_sort_rec(a.first(mid), buffer.first(mid), less, !result_in_a); },
+      [&] {
+        merge_sort_rec(a.subspan(mid), buffer.subspan(mid), less, !result_in_a);
+      });
+  // Halves are sorted in `buffer` (if result_in_a) or in `a` (otherwise).
+  if (result_in_a) {
+    parallel_merge_rec(std::span<const T>(buffer.first(mid)),
+                       std::span<const T>(buffer.subspan(mid)), a, less);
+  } else {
+    parallel_merge_rec(std::span<const T>(a.first(mid)),
+                       std::span<const T>(a.subspan(mid)), buffer, less);
+  }
+}
+}  // namespace internal
+
+// Merges two sorted ranges into `out` (out.size() == a.size() + b.size()).
+template <typename T, typename Less = std::less<T>>
+void parallel_merge(std::span<const T> a, std::span<const T> b,
+                    std::span<T> out, Less less = {}) {
+  internal::parallel_merge_rec(a, b, out, less);
+}
+
+// Sorts `a` with parallel mergesort (stable in the sequential base cases,
+// not globally; O(n log n) work, polylog depth).
+template <typename T, typename Less = std::less<T>>
+void parallel_merge_sort(std::span<T> a, Less less = {}) {
+  if (a.size() <= internal::kMergeSortSeqThreshold) {
+    std::sort(a.begin(), a.end(), less);
+    return;
+  }
+  std::vector<T> buffer(a.size());
+  internal::merge_sort_rec(a, std::span<T>(buffer), less, true);
+}
+
+}  // namespace parsemi

@@ -1,0 +1,67 @@
+// Parallel pack (filter / compaction) — §2 of the paper's building blocks.
+//
+// pack(A, flags) keeps the elements of A whose flag is true, preserving
+// their relative order. Implemented as per-block counts, a scan over block
+// counts, and a per-block sequential write — O(n) work, O(log n) depth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+// Packs elements with pred(i) true into a new vector, in order.
+template <typename T, typename Pred>
+std::vector<T> pack(std::span<const T> a, Pred&& pred) {
+  size_t n = a.size();
+  size_t block = internal::scan_block_size(n);
+  size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+  std::vector<size_t> offsets(num_blocks);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t count = 0;
+    for (size_t i = lo; i < hi; ++i) count += pred(i) ? 1 : 0;
+    offsets[b] = count;
+  });
+  size_t total = scan_exclusive_inplace(std::span<size_t>(offsets));
+  std::vector<T> out(total);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t pos = offsets[b];
+    for (size_t i = lo; i < hi; ++i)
+      if (pred(i)) out[pos++] = a[i];
+  });
+  return out;
+}
+
+// Packs the *indices* i in [0, n) with pred(i) true, in increasing order.
+// (The "where did each group start" primitive used all over the semisort.)
+template <typename Index = size_t, typename Pred>
+std::vector<Index> pack_index(size_t n, Pred&& pred) {
+  size_t block = internal::scan_block_size(n);
+  size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+  std::vector<size_t> offsets(num_blocks);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t count = 0;
+    for (size_t i = lo; i < hi; ++i) count += pred(i) ? 1 : 0;
+    offsets[b] = count;
+  });
+  size_t total = scan_exclusive_inplace(std::span<size_t>(offsets));
+  std::vector<Index> out(total);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t pos = offsets[b];
+    for (size_t i = lo; i < hi; ++i)
+      if (pred(i)) out[pos++] = static_cast<Index>(i);
+  });
+  return out;
+}
+
+// Filter by a predicate on the element value (convenience overload).
+template <typename T, typename Pred>
+std::vector<T> filter(std::span<const T> a, Pred&& pred) {
+  return pack(a, [&](size_t i) { return pred(a[i]); });
+}
+
+}  // namespace parsemi

@@ -1,0 +1,52 @@
+// Deterministic parallel random permutation.
+//
+// Assigns each index a 64-bit counter-based random rank and sorts by it
+// with the parallel radix sort — O(n) work per radix pass, fully
+// deterministic given the seed, identical at any worker count. (The
+// classic in-place parallel Fisher–Yates needs atomic swaps and gives
+// schedule-dependent results; rank-sorting trades a constant factor for
+// reproducibility, which the workload generators and tests want.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+#include "sort/radix_sort.h"
+#include "util/rng.h"
+
+namespace parsemi {
+
+// Returns a uniformly random permutation of [0, n).
+inline std::vector<size_t> random_permutation(size_t n, uint64_t seed) {
+  struct ranked {
+    uint64_t rank;
+    uint64_t index;
+  };
+  std::vector<ranked> items(n);
+  rng base(splitmix64(seed));
+  parallel_for(0, n, [&](size_t i) {
+    items[i] = {base.ith(i), static_cast<uint64_t>(i)};
+  });
+  radix_sort(std::span<ranked>(items),
+             [](const ranked& r) { return r.rank; });
+  // Ties among ranks (probability ~n²/2⁶⁴) would merely make the
+  // permutation infinitesimally non-uniform; correctness (it IS a
+  // permutation) is unconditional.
+  std::vector<size_t> out(n);
+  parallel_for(0, n, [&](size_t i) {
+    out[i] = static_cast<size_t>(items[i].index);
+  });
+  return out;
+}
+
+// Shuffles `a` in place (via a gather through a temporary).
+template <typename T>
+void random_shuffle(std::span<T> a, uint64_t seed) {
+  auto perm = random_permutation(a.size(), seed);
+  std::vector<T> tmp(a.begin(), a.end());
+  parallel_for(0, a.size(), [&](size_t i) { a[i] = tmp[perm[i]]; });
+}
+
+}  // namespace parsemi

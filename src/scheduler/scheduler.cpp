@@ -1,0 +1,106 @@
+#include "scheduler/scheduler.h"
+
+#include <chrono>
+
+#include "util/env.h"
+
+namespace parsemi {
+
+namespace {
+// Pool membership of the current thread. The thread that constructs the
+// pool becomes worker 0; spawned threads get 1..P-1; everything else is -1.
+thread_local int tl_worker_id = -1;
+}  // namespace
+
+scheduler& scheduler::get() {
+  static scheduler instance;
+  return instance;
+}
+
+int scheduler::worker_id() { return tl_worker_id; }
+
+scheduler::scheduler() {
+  tl_worker_id = 0;
+  int p = static_cast<int>(std::thread::hardware_concurrency());
+  if (auto env = env_int("PARSEMI_NUM_THREADS"); env && *env > 0) {
+    p = static_cast<int>(*env);
+  }
+  start_workers(p < 1 ? 1 : p);
+}
+
+scheduler::~scheduler() { stop_workers(); }
+
+void scheduler::set_num_workers(int p) {
+  if (p < 1) p = 1;
+  if (p == num_workers_) return;
+  stop_workers();
+  start_workers(p);
+}
+
+void scheduler::start_workers(int p) {
+  num_workers_ = p;
+  shutdown_.store(false, std::memory_order_relaxed);
+  deques_ = std::vector<internal::work_stealing_deque<internal::job>>(
+      static_cast<size_t>(p));
+  threads_.reserve(static_cast<size_t>(p - 1));
+  for (int id = 1; id < p; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+void scheduler::stop_workers() {
+  shutdown_.store(true, std::memory_order_release);
+  work_epoch_.fetch_add(1, std::memory_order_relaxed);
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+internal::job* scheduler::try_steal(int thief_id) {
+  // One sweep over all victims starting at a random position. A single
+  // sweep (rather than looping here) keeps the caller's join check fresh.
+  thread_local rng steal_rng(0xabcdef1234567ULL + static_cast<uint64_t>(thief_id) * 7919);
+  int p = num_workers_;
+  int start = static_cast<int>(steal_rng.next_below(static_cast<uint64_t>(p)));
+  for (int k = 0; k < p; ++k) {
+    int victim = start + k;
+    if (victim >= p) victim -= p;
+    if (victim == thief_id) continue;
+    internal::job* j = deques_[victim].steal();
+    if (j != nullptr) return j;
+  }
+  return nullptr;
+}
+
+void scheduler::worker_loop(int id) {
+  tl_worker_id = id;
+  int failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    internal::job* j = deques_[id].pop();
+    if (j == nullptr) j = try_steal(id);
+    if (j != nullptr) {
+      j->execute();
+      failures = 0;
+      continue;
+    }
+    if (++failures < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // No work for a while: sleep instead of burning a core the busy workers
+    // may need. The timed wait bounds the cost of a missed notification.
+    failures = 0;
+    num_sleeping_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      uint64_t epoch = work_epoch_.load(std::memory_order_relaxed);
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               work_epoch_.load(std::memory_order_relaxed) != epoch;
+      });
+    }
+    num_sleeping_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace parsemi

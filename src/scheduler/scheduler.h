@@ -1,0 +1,227 @@
+// Fork-join work-stealing scheduler — parsemi's stand-in for Cilk Plus.
+//
+// The paper's implementation expressed parallelism with `cilk_for` and
+// `cilk_spawn` under Cilk's randomized work-stealing scheduler, giving
+// W/P + O(D) expected running time. Cilk Plus has been removed from GCC, so
+// we provide the same model from scratch:
+//
+//   * a global pool of P workers (the thread that first touches the pool is
+//     worker 0; P-1 std::threads are spawned),
+//   * one Chase–Lev deque per worker,
+//   * `fork_join(left, right)`: push `right`, run `left` inline, then help
+//     (pop own deque / steal) until `right` completes — the classic
+//     child-stealing discipline, deadlock-free because waiting threads only
+//     ever execute fully-formed jobs,
+//   * `parallel_for` built on binary fork-join splitting with automatic
+//     granularity.
+//
+// Worker count comes from PARSEMI_NUM_THREADS (default: hardware
+// concurrency) and can be changed between parallel regions with
+// `set_num_workers` — the thread-count sweeps in the paper's Tables 1/2/3
+// and Figure 2 rely on this.
+//
+// Threads that are not pool members (e.g. threads spawned by tests) execute
+// parallel constructs sequentially; this keeps the pool's invariants simple
+// and is always correct.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "scheduler/work_stealing_deque.h"
+#include "util/rng.h"
+
+namespace parsemi {
+
+namespace internal {
+
+// A unit of stealable work. Jobs live on the stack of the forking function;
+// `done` is the join flag the forker waits on. Exceptions escaping the job
+// are captured and rethrown at the fork-join join point (on the forker's
+// thread), mirroring what std::async / Cilk would do — a throw on a worker
+// thread must not terminate the process.
+struct job {
+  virtual void run() = 0;
+  virtual ~job() = default;
+
+  void execute() {
+    try {
+      run();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    done.store(true, std::memory_order_release);
+  }
+  bool finished() const { return done.load(std::memory_order_acquire); }
+
+  std::atomic<bool> done{false};
+  std::exception_ptr error;  // written before `done` is released
+};
+
+template <typename F>
+struct lambda_job final : job {
+  explicit lambda_job(F&& f) : fn(std::forward<F>(f)) {}
+  void run() override { fn(); }
+  F fn;
+};
+
+}  // namespace internal
+
+class scheduler {
+ public:
+  // The process-wide pool; lazily started on first use.
+  static scheduler& get();
+
+  ~scheduler();
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  // Id of the calling thread within the pool; -1 for foreign threads.
+  static int worker_id();
+
+  // Restarts the pool with `p` workers. Must be called outside any parallel
+  // region (from worker 0 or a foreign thread at top level).
+  void set_num_workers(int p);
+
+  // Runs `left` and `right`, potentially in parallel; returns when both are
+  // complete. Safe to nest arbitrarily.
+  template <typename L, typename R>
+  void fork_join(L&& left, R&& right) {
+    int id = worker_id();
+    if (id < 0 || num_workers_ == 1) {  // foreign thread or sequential pool
+      left();
+      right();
+      return;
+    }
+    internal::lambda_job<R> right_job(std::forward<R>(right));
+    deques_[id].push(&right_job);
+    wake_sleepers();
+    // `right_job` lives on this stack frame, so even if `left` throws we
+    // must not unwind until the job can no longer be touched by a thief.
+    std::exception_ptr left_error;
+    try {
+      left();
+    } catch (...) {
+      left_error = std::current_exception();
+    }
+    // Join: execute local/stolen work until right_job is done. If it is
+    // still in our deque we will pop it ourselves (LIFO ⇒ it is next once
+    // everything pushed after it has drained).
+    while (!right_job.finished()) {
+      internal::job* j = deques_[id].pop();
+      if (j == nullptr) j = try_steal(id);
+      if (j != nullptr) {
+        j->execute();
+      } else if (!right_job.finished()) {
+        std::this_thread::yield();
+      }
+    }
+    if (left_error) std::rethrow_exception(left_error);
+    if (right_job.error) std::rethrow_exception(right_job.error);
+  }
+
+ private:
+  scheduler();
+
+  void start_workers(int p);
+  void stop_workers();
+  void worker_loop(int id);
+
+  // One round of victim selection; nullptr if nothing was found.
+  internal::job* try_steal(int thief_id);
+
+  void wake_sleepers() {
+    if (num_sleeping_.load(std::memory_order_relaxed) > 0) {
+      work_epoch_.fetch_add(1, std::memory_order_relaxed);
+      sleep_cv_.notify_all();
+    }
+  }
+
+  int num_workers_ = 1;
+  std::vector<internal::work_stealing_deque<internal::job>> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+
+  // Idle workers sleep here (with a timeout, so a missed notify costs at
+  // most one period) instead of burning the cores the busy workers need —
+  // essential when the pool is oversubscribed relative to physical cores.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> num_sleeping_{0};
+  std::atomic<uint64_t> work_epoch_{0};
+};
+
+// ---- Convenience free functions (the public surface everything else uses).
+
+inline int num_workers() { return scheduler::get().num_workers(); }
+inline int worker_id() { return scheduler::worker_id(); }
+inline void set_num_workers(int p) { scheduler::get().set_num_workers(p); }
+
+// Runs both thunks, potentially in parallel.
+template <typename L, typename R>
+void par_do(L&& left, R&& right) {
+  scheduler::get().fork_join(std::forward<L>(left), std::forward<R>(right));
+}
+
+namespace internal {
+
+template <typename F>
+void parallel_for_rec(size_t lo, size_t hi, size_t granularity, const F& f) {
+  if (hi - lo <= granularity) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_rec(lo, mid, granularity, f); },
+         [&] { parallel_for_rec(mid, hi, granularity, f); });
+}
+
+}  // namespace internal
+
+// Parallel loop over [start, end). `granularity` is the largest range run
+// sequentially by one task; 0 selects automatically (≈ 8 tasks per worker,
+// floored so tiny loops stay sequential).
+template <typename F>
+void parallel_for(size_t start, size_t end, F&& f, size_t granularity = 0) {
+  if (start >= end) return;
+  size_t n = end - start;
+  size_t p = static_cast<size_t>(num_workers());
+  if (granularity == 0) {
+    // ~8 tasks per worker amortizes steal overhead while leaving slack for
+    // load imbalance; never go below 64 iterations per task.
+    granularity = std::max<size_t>(64, n / (8 * p) + 1);
+  }
+  if (p == 1 || n <= granularity) {
+    for (size_t i = start; i < end; ++i) f(i);
+    return;
+  }
+  internal::parallel_for_rec(start, end, granularity, f);
+}
+
+// Parallel loop over blocks: calls f(block_index, block_start, block_end)
+// for ceil(n / block_size) blocks covering [0, n). The workhorse of the
+// blocked scan / pack / histogram primitives.
+template <typename F>
+void parallel_for_blocks(size_t n, size_t block_size, F&& f) {
+  if (n == 0) return;
+  size_t num_blocks = (n + block_size - 1) / block_size;
+  parallel_for(
+      0, num_blocks,
+      [&](size_t b) {
+        size_t lo = b * block_size;
+        size_t hi = std::min(n, lo + block_size);
+        f(b, lo, hi);
+      },
+      1);
+}
+
+}  // namespace parsemi

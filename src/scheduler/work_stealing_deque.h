@@ -1,0 +1,130 @@
+// Chase–Lev work-stealing deque.
+//
+// One deque per worker: the owner pushes and pops at the bottom (LIFO, so
+// nested fork-join keeps the cache-hot task local), thieves take from the
+// top (FIFO, so thieves get the biggest remaining subtree). Memory orderings
+// follow Lê, Pop, Cohen, Zappa Nardelli, "Correct and Efficient Work-Stealing
+// for Weak Memory Models" (PPoPP'13), the proven-correct C11 formulation of
+// Chase & Lev's algorithm.
+//
+// Capacity is fixed. Fork-join pushes at most one job per recursion level,
+// so the deque depth is bounded by the total nesting depth of parallel
+// constructs (~log n per construct); kDequeCapacity = 8192 leaves two orders
+// of magnitude of headroom, and overflow is a checked fatal error rather
+// than silent corruption.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace parsemi::internal {
+
+// ThreadSanitizer does not model standalone atomic_thread_fence, so the
+// fence-based Chase–Lev orderings below read as races to it even though
+// they are proven correct (Lê et al.). Under TSan we strengthen every
+// deque operation to seq_cst and drop the fences — slower, but TSan then
+// verifies genuine absence of races instead of reporting unmodeled fences.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kTsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kTsanBuild = true;
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+
+inline constexpr std::memory_order deque_order(std::memory_order o) {
+  return kTsanBuild ? std::memory_order_seq_cst : o;
+}
+inline void deque_fence(std::memory_order o) {
+  if constexpr (!kTsanBuild) std::atomic_thread_fence(o);
+}
+
+inline constexpr size_t kDequeCapacity = 8192;  // must be a power of two
+
+template <typename Job>
+class work_stealing_deque {
+ public:
+  work_stealing_deque() {
+    for (auto& slot : buffer_) slot.store(nullptr, std::memory_order_relaxed);
+  }
+
+  work_stealing_deque(const work_stealing_deque&) = delete;
+  work_stealing_deque& operator=(const work_stealing_deque&) = delete;
+
+  // Owner only. Publishes `job` for thieves.
+  void push(Job* job) {
+    int64_t b = bottom_.load(deque_order(std::memory_order_relaxed));
+    int64_t t = top_.load(deque_order(std::memory_order_acquire));
+    if (b - t >= static_cast<int64_t>(kDequeCapacity)) {
+      std::fprintf(stderr,
+                   "parsemi: work-stealing deque overflow (depth %lld); "
+                   "parallel nesting too deep\n",
+                   static_cast<long long>(b - t));
+      std::abort();
+    }
+    buffer_[b & kMask].store(job, deque_order(std::memory_order_relaxed));
+    deque_fence(std::memory_order_release);
+    bottom_.store(b + 1, deque_order(std::memory_order_release));
+  }
+
+  // Owner only. Returns the most recently pushed job, or nullptr if the
+  // deque is empty (possibly because thieves emptied it).
+  Job* pop() {
+    int64_t b = bottom_.load(deque_order(std::memory_order_relaxed)) - 1;
+    bottom_.store(b, deque_order(std::memory_order_relaxed));
+    deque_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(deque_order(std::memory_order_relaxed));
+    Job* job = nullptr;
+    if (t <= b) {
+      job = buffer_[b & kMask].load(deque_order(std::memory_order_relaxed));
+      if (t == b) {
+        // Last element: race with thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          deque_order(std::memory_order_relaxed))) {
+          job = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, deque_order(std::memory_order_relaxed));
+      }
+    } else {
+      bottom_.store(b + 1, deque_order(std::memory_order_relaxed));
+    }
+    return job;
+  }
+
+  // Any thread. Returns the oldest job, or nullptr when empty or when the
+  // CAS race was lost (callers just move on to another victim).
+  Job* steal() {
+    int64_t t = top_.load(deque_order(std::memory_order_acquire));
+    deque_fence(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(deque_order(std::memory_order_acquire));
+    if (t >= b) return nullptr;
+    Job* job = buffer_[t & kMask].load(deque_order(std::memory_order_relaxed));
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      deque_order(std::memory_order_relaxed))) {
+      return nullptr;
+    }
+    return job;
+  }
+
+  // Approximate (racy) size; used only for diagnostics and sleep heuristics.
+  int64_t size_approx() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int64_t kMask = static_cast<int64_t>(kDequeCapacity) - 1;
+
+  alignas(64) std::atomic<int64_t> top_{0};
+  alignas(64) std::atomic<int64_t> bottom_{0};
+  alignas(64) std::atomic<Job*> buffer_[kDequeCapacity];
+};
+
+}  // namespace parsemi::internal

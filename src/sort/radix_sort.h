@@ -1,0 +1,85 @@
+// Top-down (MSD) parallel radix sort, PBBS style — §4 Phase 1's sample sort,
+// and the paper's main comparison baseline (Table 1, Figure 2, Table 5).
+//
+// Each level runs one stable parallel counting sort on 8 bits of the key,
+// then recurses on the 256 buckets in parallel; small buckets fall back to
+// std::sort. For 64-bit hashed keys this makes up to 8 full passes over the
+// data — the memory-bandwidth behaviour the paper identifies as radix
+// sort's weakness against the semisort.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "primitives/counting_sort.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+namespace internal {
+
+inline constexpr size_t kRadixBits = 8;
+inline constexpr size_t kRadixBuckets = 1ull << kRadixBits;
+inline constexpr size_t kRadixSeqThreshold = 1ull << 13;
+
+// Sorts `a` by key; result left in `a` if leave_in_a, else copied/produced
+// in `b`. Both spans alias the same logical range of the two buffers.
+template <typename T, typename KeyFn>
+void radix_rec(std::span<T> a, std::span<T> b, KeyFn& key, int shift,
+               bool leave_in_a) {
+  size_t n = a.size();
+  if (n <= kRadixSeqThreshold || shift < 0) {
+    std::sort(a.begin(), a.end(),
+              [&](const T& x, const T& y) { return key(x) < key(y); });
+    if (!leave_in_a) std::copy(a.begin(), a.end(), b.begin());
+    return;
+  }
+  std::vector<size_t> starts;
+  counting_sort(
+      std::span<const T>(a), b, kRadixBuckets,
+      [&](const T& x) { return (key(x) >> shift) & (kRadixBuckets - 1); },
+      &starts);
+  // Data now lives in b; recurse per bucket with buffer roles swapped.
+  parallel_for(
+      0, kRadixBuckets,
+      [&](size_t q) {
+        size_t lo = starts[q], hi = starts[q + 1];
+        if (lo == hi) return;
+        if (hi - lo == 1) {  // single element: just place it
+          if (leave_in_a) a[lo] = b[lo];
+          return;
+        }
+        radix_rec(b.subspan(lo, hi - lo), a.subspan(lo, hi - lo), key,
+                  shift - static_cast<int>(kRadixBits), !leave_in_a);
+      },
+      1);
+}
+
+}  // namespace internal
+
+// Sorts `a` in place by the 64-bit key `key(a[i])`. `max_key` (if known)
+// limits the number of radix levels; by default all 64 bits are processed.
+template <typename T, typename KeyFn>
+void radix_sort(std::span<T> a, KeyFn key, uint64_t max_key = ~0ULL) {
+  size_t n = a.size();
+  if (n <= internal::kRadixSeqThreshold) {
+    std::sort(a.begin(), a.end(),
+              [&](const T& x, const T& y) { return key(x) < key(y); });
+    return;
+  }
+  int bits = 64 - std::countl_zero(max_key | 1);
+  int top_shift =
+      static_cast<int>(((bits - 1) / internal::kRadixBits) * internal::kRadixBits);
+  std::vector<T> tmp(n);
+  internal::radix_rec(a, std::span<T>(tmp), key, top_shift, true);
+}
+
+// Convenience overload for plain integer spans.
+inline void radix_sort_u64(std::span<uint64_t> a, uint64_t max_key = ~0ULL) {
+  radix_sort(a, [](uint64_t x) { return x; }, max_key);
+}
+
+}  // namespace parsemi

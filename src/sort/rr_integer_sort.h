@@ -1,0 +1,235 @@
+// A practical Rajasekaran–Reif-style parallel integer sort (§2 of the
+// paper reviews it; §3.2 compares the semisort against it).
+//
+// The RR algorithm sorts integers in [n·logᵏn] in O(kn) work and O(k log n)
+// depth w.h.p. using two components, both implemented here:
+//   1. an UNSTABLE randomized sort for a small range [~n/log²n]: estimate
+//      each key's multiplicity from a sample, allocate slack arrays, place
+//      records at random slots (CAS + linear probing), pack;
+//   2. the STABLE parallel counting sort (primitives/counting_sort.h),
+//      applied to successive higher chunks of the key — stability preserves
+//      the order established by the randomized round.
+//
+// Combined with the naming problem, this yields the alternative semisort
+// the paper argues against (rr_semisort below): reduce the hash values to
+// dense labels in [#distinct], then integer-sort the labels. The benches
+// show the §3.2 claim — the naming step alone costs about as much as the
+// entire top-down semisort.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/default_init_buffer.h"
+#include "hashing/naming.h"
+#include "primitives/counting_sort.h"
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace parsemi {
+
+namespace internal {
+
+// Unstable randomized sort of `in` into `out` by key(x) ∈ [range].
+// Uses the same sampling + f-estimate + CAS-placement machinery as the
+// semisort, but with one bucket per key value (no heavy/light split —
+// exactly RR's structure). Returns false on bucket overflow (caller
+// retries with more slack).
+template <typename T, typename KeyFn>
+bool rr_unstable_sort_attempt(std::span<const T> in, std::span<T> out,
+                              size_t range, KeyFn& key, double alpha,
+                              uint64_t seed) {
+  size_t n = in.size();
+  rng base(splitmix64(seed));
+
+  // Sample each record with p = 1/16 (strided) and histogram the sampled
+  // keys — the RR cardinality estimate c(i).
+  constexpr double kP = 1.0 / 16.0;
+  auto num_samples = static_cast<size_t>(static_cast<double>(n) * kP);
+  std::vector<std::atomic<uint32_t>> sample_counts(range);
+  parallel_for(0, range, [&](size_t i) {
+    sample_counts[i].store(0, std::memory_order_relaxed);
+  });
+  parallel_for(0, num_samples, [&](size_t i) {
+    size_t lo = (i * n) / num_samples;
+    size_t hi = ((i + 1) * n) / num_samples;
+    size_t pos = lo + base.ith_below(i, hi - lo);
+    sample_counts[key(in[pos])].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // u(i) = α·f(c(i)) slots per key (our refined version of RR's
+  // c'·max(log²n, c(i)·log n) bound), laid out with a prefix sum.
+  semisort_params est;  // defaults carry p = 1/16, c = 1.25
+  std::vector<size_t> offsets(range + 1);
+  parallel_for(0, range, [&](size_t i) {
+    offsets[i] = bucket_capacity(
+        sample_counts[i].load(std::memory_order_relaxed),
+        std::max<size_t>(n, 2), est, alpha);
+  });
+  offsets[range] = 0;
+  size_t total_slots = scan_exclusive_inplace(std::span<size_t>(offsets));
+  (void)total_slots;
+  offsets[range] = total_slots;
+
+  // Placement: CAS into a random slot of the key's array, linear probe on
+  // collision. Slot occupancy tracked with a flag byte (keys here are small
+  // integers, so no sentinel trick is available).
+  default_init_buffer<T> slots(total_slots);
+  std::vector<std::atomic<uint8_t>> occupied(total_slots);
+  parallel_for(0, total_slots, [&](size_t i) {
+    occupied[i].store(0, std::memory_order_relaxed);
+  });
+  std::atomic<bool> overflow{false};
+  rng place = base.split(7);
+  parallel_for(0, n, [&](size_t i) {
+    if (overflow.load(std::memory_order_relaxed)) return;
+    size_t k = key(in[i]);
+    size_t off = offsets[k];
+    size_t cap = offsets[k + 1] - off;
+    size_t pos = place.ith_below(i, cap);
+    for (size_t t = 0; t < cap; ++t) {
+      uint8_t expected = 0;
+      if (occupied[off + pos].load(std::memory_order_relaxed) == 0 &&
+          occupied[off + pos].compare_exchange_strong(
+              expected, 1, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        slots[off + pos] = in[i];
+        return;
+      }
+      if (++pos == cap) pos = 0;
+    }
+    overflow.store(true, std::memory_order_relaxed);
+  });
+  if (overflow.load(std::memory_order_relaxed)) return false;
+
+  // Pack the slack away: blocked count + scan + write.
+  size_t block = internal::scan_block_size(total_slots);
+  size_t num_blocks = (total_slots + block - 1) / block;
+  std::vector<size_t> block_offset(num_blocks);
+  parallel_for_blocks(total_slots, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t count = 0;
+    for (size_t i = lo; i < hi; ++i)
+      count += occupied[i].load(std::memory_order_relaxed) != 0;
+    block_offset[b] = count;
+  });
+  size_t packed = scan_exclusive_inplace(std::span<size_t>(block_offset));
+  if (packed != n) return false;  // only possible via a bug; be defensive
+  parallel_for_blocks(total_slots, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t w = block_offset[b];
+    for (size_t i = lo; i < hi; ++i)
+      if (occupied[i].load(std::memory_order_relaxed) != 0) out[w++] = slots[i];
+  });
+  return true;
+}
+
+}  // namespace internal
+
+// Unstable randomized parallel sort by key(x) ∈ [range]; RR's first
+// component. Result placed in `out`. Range should be O(n / log²n) for the
+// RR bounds, but any range the memory affords works.
+template <typename T, typename KeyFn>
+void rr_unstable_sort(std::span<const T> in, std::span<T> out, size_t range,
+                      KeyFn key, uint64_t seed = 99) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("rr_unstable_sort: size mismatch");
+  if (in.empty()) return;
+  double alpha = 1.1;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (internal::rr_unstable_sort_attempt(in, out, range, key, alpha,
+                                           seed + static_cast<uint64_t>(attempt)))
+      return;
+    alpha *= 2.0;
+  }
+  throw std::runtime_error("rr_unstable_sort: persistent overflow");
+}
+
+// Full RR integer sort: keys in [range]. One unstable randomized round on
+// the low bits (range clamped to ~n/log²n), then stable counting-sort
+// rounds on successive higher chunks (8 bits each, mirroring the radix
+// baseline's chunking).
+template <typename T, typename KeyFn>
+void rr_integer_sort(std::span<T> a, size_t range, KeyFn key,
+                     uint64_t seed = 99) {
+  size_t n = a.size();
+  if (n <= 1) return;
+  if (range < 2) return;
+
+  // Low range for the unstable round: ~ n / log²n, a power of two, at
+  // least 256 and at most the full range.
+  double log_n = std::log2(static_cast<double>(n) + 2);
+  auto low_range = static_cast<size_t>(
+      static_cast<double>(n) / (log_n * log_n));
+  low_range = std::bit_ceil(std::clamp<size_t>(low_range, 256, 1ull << 24));
+  low_range = std::min(low_range, std::bit_ceil(range));
+  size_t low_bits = static_cast<size_t>(std::countr_zero(low_range));
+  size_t low_mask = low_range - 1;
+
+  std::vector<T> buffer(n);
+  rr_unstable_sort(
+      std::span<const T>(a), std::span<T>(buffer), low_range,
+      [&](const T& x) { return key(x) & low_mask; }, seed);
+
+  // Stable counting-sort rounds over the remaining bits, 8 at a time,
+  // ping-ponging between the two buffers; results must end in `a`.
+  size_t total_bits = static_cast<size_t>(
+      std::bit_width(std::bit_ceil(std::max<size_t>(range, 2)) - 1));
+  bool in_buffer = true;  // data currently lives in `buffer`
+  for (size_t shift = low_bits; shift < total_bits; shift += 8) {
+    size_t chunk_bits = std::min<size_t>(8, total_bits - shift);
+    size_t buckets = 1ull << chunk_bits;
+    auto chunk_key = [&](const T& x) {
+      return (key(x) >> shift) & (buckets - 1);
+    };
+    if (in_buffer) {
+      counting_sort(std::span<const T>(buffer), a, buckets, chunk_key);
+    } else {
+      counting_sort(std::span<const T>(std::as_const(a)),
+                    std::span<T>(buffer), buckets, chunk_key);
+    }
+    in_buffer = !in_buffer;
+  }
+  if (in_buffer) std::copy(buffer.begin(), buffer.end(), a.begin());
+}
+
+// The §3.2 alternative semisort: naming (hash values → dense labels in
+// [#distinct]) followed by the RR integer sort on the labels. Provided as
+// the comparison target for the paper's argument that the naming
+// preprocessing alone costs as much as the whole top-down semisort.
+template <typename Record, typename GetKey>
+void rr_semisort(std::span<const Record> in, std::span<Record> out,
+                 GetKey get_key, uint64_t seed = 99) {
+  size_t n = in.size();
+  if (out.size() != n) throw std::invalid_argument("rr_semisort: size mismatch");
+  if (n == 0) return;
+  std::vector<uint64_t> keys(n);
+  parallel_for(0, n, [&](size_t i) { keys[i] = get_key(in[i]); });
+  naming_result named = name_keys(std::span<const uint64_t>(keys));
+  struct labeled {
+    uint32_t label;
+    uint32_t index_lo;
+    uint32_t index_hi;
+  };
+  // Keep (label, original index) pairs compact; sort by label.
+  std::vector<labeled> tagged(n);
+  parallel_for(0, n, [&](size_t i) {
+    tagged[i] = {named.labels[i], static_cast<uint32_t>(i & 0xffffffffu),
+                 static_cast<uint32_t>(i >> 32)};
+  });
+  rr_integer_sort(
+      std::span<labeled>(tagged), std::max<size_t>(named.num_distinct, 2),
+      [](const labeled& t) { return static_cast<size_t>(t.label); }, seed);
+  parallel_for(0, n, [&](size_t i) {
+    size_t original = static_cast<size_t>(tagged[i].index_lo) |
+                      (static_cast<size_t>(tagged[i].index_hi) << 32);
+    out[i] = in[original];
+  });
+}
+
+}  // namespace parsemi

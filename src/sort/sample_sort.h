@@ -1,0 +1,79 @@
+// Parallel sample sort (Blelloch–Gibbons–Simhadri style), the
+// cache-efficient comparison-sort baseline of Table 5 / Figure 4.
+//
+// One level of splitter-based partitioning: oversample, sort the sample,
+// pick B-1 splitters, classify every element by binary search, route with a
+// stable parallel counting sort, then sort each bucket (recursively if it
+// is still large). Bucket count is chosen so buckets fit comfortably in
+// cache, which is where the algorithm's practical efficiency comes from.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "primitives/counting_sort.h"
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace parsemi {
+
+namespace internal {
+inline constexpr size_t kSampleSortSeqThreshold = 1ull << 14;
+inline constexpr size_t kSampleSortOversample = 8;
+inline constexpr size_t kSampleSortTargetBucket = 1ull << 16;
+}  // namespace internal
+
+template <typename T, typename Less = std::less<T>>
+void sample_sort(std::span<T> a, Less less = {}, uint64_t seed = 0x5a3513ULL) {
+  size_t n = a.size();
+  if (n <= internal::kSampleSortSeqThreshold) {
+    std::sort(a.begin(), a.end(), less);
+    return;
+  }
+
+  size_t num_buckets = std::clamp<size_t>(
+      n / internal::kSampleSortTargetBucket, 2, 1024);
+
+  // Oversampled splitters.
+  rng r(seed);
+  size_t sample_size = num_buckets * internal::kSampleSortOversample;
+  std::vector<T> sample(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) sample[i] = a[r.next_below(n)];
+  std::sort(sample.begin(), sample.end(), less);
+  std::vector<T> splitters(num_buckets - 1);
+  for (size_t i = 0; i + 1 < num_buckets; ++i)
+    splitters[i] = sample[(i + 1) * internal::kSampleSortOversample];
+
+  // Classify + route with one stable counting sort.
+  std::vector<T> routed(n);
+  std::vector<size_t> starts;
+  counting_sort(
+      std::span<const T>(a), std::span<T>(routed), num_buckets,
+      [&](const T& x) {
+        return static_cast<size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), x, less) -
+            splitters.begin());
+      },
+      &starts);
+
+  // Sort buckets (recursing if a bucket is still huge, e.g. heavy skew).
+  parallel_for(
+      0, num_buckets,
+      [&](size_t q) {
+        size_t lo = starts[q], hi = starts[q + 1];
+        std::span<T> bucket(routed.data() + lo, hi - lo);
+        if (bucket.size() > 4 * internal::kSampleSortTargetBucket &&
+            bucket.size() < n) {
+          sample_sort(bucket, less, splitmix64(seed + q));
+        } else {
+          std::sort(bucket.begin(), bucket.end(), less);
+        }
+        std::copy(bucket.begin(), bucket.end(), a.begin() + lo);
+      },
+      1);
+}
+
+}  // namespace parsemi

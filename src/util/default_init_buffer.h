@@ -1,0 +1,33 @@
+// A heap buffer that, unlike std::vector, does NOT value-initialize its
+// elements. The semisort's bucket array is ~2-3 slots per record; zeroing
+// it before the sentinel fill would be a full extra pass over the largest
+// allocation in the whole algorithm, so the scatter phases use this
+// instead.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace parsemi::internal {
+
+template <typename T>
+class default_init_buffer {
+  static_assert(std::is_trivially_default_constructible_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit default_init_buffer(size_t n) : data_(new T[n]), size_(n) {}
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  size_t size_;
+};
+
+}  // namespace parsemi::internal

@@ -1,0 +1,88 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parsemi {
+
+std::optional<int64_t> env_int(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return std::nullopt;
+  return static_cast<int64_t>(parsed);
+}
+
+arg_parser::arg_parser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      flags_.emplace_back(name.substr(0, eq), name.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_.emplace_back(std::move(name), argv[++i]);
+    } else {
+      flags_.emplace_back(std::move(name), "");  // boolean switch
+    }
+  }
+}
+
+std::optional<std::string> arg_parser::find(const std::string& name) const {
+  for (const auto& [n, v] : flags_)
+    if (n == name) return v;
+  return std::nullopt;
+}
+
+namespace {
+// std::stoll/stod throw opaque exceptions on garbage; a CLI should name the
+// offending flag and exit instead of terminating on an uncaught exception.
+[[noreturn]] void bad_value(const std::string& name, const std::string& value) {
+  std::fprintf(stderr, "invalid value for --%s: '%s'\n", name.c_str(),
+               value.c_str());
+  std::exit(2);
+}
+}  // namespace
+
+int64_t arg_parser::get_int(const std::string& name, int64_t fallback) const {
+  auto v = find(name);
+  if (!v || v->empty()) return fallback;
+  try {
+    size_t consumed = 0;
+    int64_t parsed = std::stoll(*v, &consumed);
+    if (consumed != v->size()) bad_value(name, *v);
+    return parsed;
+  } catch (const std::exception&) {
+    bad_value(name, *v);
+  }
+}
+
+double arg_parser::get_double(const std::string& name, double fallback) const {
+  auto v = find(name);
+  if (!v || v->empty()) return fallback;
+  try {
+    size_t consumed = 0;
+    double parsed = std::stod(*v, &consumed);
+    if (consumed != v->size()) bad_value(name, *v);
+    return parsed;
+  } catch (const std::exception&) {
+    bad_value(name, *v);
+  }
+}
+
+std::string arg_parser::get_string(const std::string& name,
+                                   const std::string& fallback) const {
+  auto v = find(name);
+  return v ? *v : fallback;
+}
+
+bool arg_parser::has(const std::string& name) const {
+  return find(name).has_value();
+}
+
+}  // namespace parsemi

@@ -1,0 +1,35 @@
+// Environment-variable configuration (e.g. PARSEMI_NUM_THREADS) and a tiny
+// command-line flag parser shared by the bench/example binaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parsemi {
+
+// Reads an integer environment variable; nullopt when unset or unparsable.
+std::optional<int64_t> env_int(const char* name);
+
+// Minimal `--flag value` / `--flag=value` / `--switch` parser. Unrecognized
+// positional arguments are kept in `positional()`.
+class arg_parser {
+ public:
+  arg_parser(int argc, char** argv);
+
+  // --name <v> or --name=<v>; returns fallback when absent.
+  int64_t get_int(const std::string& name, int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  bool has(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::optional<std::string> find(const std::string& name) const;
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parsemi

@@ -1,0 +1,65 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Parallel code cannot share a single RNG stream: contention aside, the
+// output would depend on the interleaving and the run would not be
+// reproducible. Everything in parsemi that needs randomness takes either a
+// `seed` or an `rng` by value, and parallel loops derive an independent
+// stream per index by hashing (seed, index) with splitmix64 — the standard
+// "counter-based" construction, so results are identical at any worker count.
+#pragma once
+
+#include <cstdint>
+
+namespace parsemi {
+
+// SplitMix64 (Steele, Lea, Flood; JEP 356 reference mixer). Passes BigCrush
+// as a mixer; used both as a stream-splitter and as a cheap standalone RNG.
+inline constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A tiny counter-based RNG: stateless draws keyed by (seed, counter).
+// Calling `ith(i)` yields the same value regardless of how many draws
+// happened before — exactly what deterministic parallel loops need.
+class rng {
+ public:
+  explicit constexpr rng(uint64_t seed = 0x5eed5eed5eedULL) : state_(seed) {}
+
+  // Next value in this stream (mutates local state; fine inside one task).
+  constexpr uint64_t next() { return splitmix64(state_++); }
+
+  // The i-th value of the stream, independent of call order.
+  constexpr uint64_t ith(uint64_t i) const { return splitmix64(state_ + i); }
+
+  // A child stream that does not overlap this one (for nested parallelism).
+  constexpr rng split(uint64_t salt) const {
+    return rng(splitmix64(state_ ^ (salt * 0x9e3779b97f4a7c15ULL + 0x1234567ULL)));
+  }
+
+  // Uniform in [0, n). Uses 128-bit multiply (Lemire) — unbiased enough for
+  // randomized-algorithm purposes and far faster than modulo.
+  constexpr uint64_t next_below(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+  constexpr uint64_t ith_below(uint64_t i, uint64_t n) const {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(ith(i)) * n) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  constexpr double ith_double(uint64_t i) const {
+    return static_cast<double>(ith(i) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace parsemi

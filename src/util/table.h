@@ -1,0 +1,36 @@
+// ASCII table formatting for the bench harness. Every bench binary prints
+// its table/figure in the same aligned format so EXPERIMENTS.md can quote
+// them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parsemi {
+
+class ascii_table {
+ public:
+  explicit ascii_table(std::vector<std::string> header);
+
+  // Appends one row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  // Renders rows as comma-separated values (for plotting-friendly dumps).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double → string ("0.456"), trailing zeros kept so columns
+// line up.
+std::string fmt(double value, int precision = 3);
+
+// Human-readable record counts: 10000000 → "10M".
+std::string fmt_count(uint64_t n);
+
+}  // namespace parsemi

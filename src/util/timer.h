@@ -1,0 +1,69 @@
+// Wall-clock timing helpers used by benches and the per-phase breakdown
+// instrumentation (Tables 2/3, Figure 3 of the paper).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parsemi {
+
+// Monotonic stopwatch. `elapsed()` returns seconds since construction or the
+// last `reset()`.
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  // Returns elapsed seconds and restarts the stopwatch — convenient for
+  // timing consecutive phases.
+  double lap() {
+    auto now = clock::now();
+    double t = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return t;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates named phase timings; the semisort implementation fills one of
+// these when asked (Tables 2 and 3 of the paper report exactly these rows).
+class phase_timer {
+ public:
+  void start() { watch_.reset(); }
+
+  void record(std::string name) {
+    double t = watch_.lap();
+    for (auto& [n, total] : phases_)
+      if (n == name) { total += t; return; }
+    phases_.emplace_back(std::move(name), t);
+  }
+
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  double total() const {
+    double s = 0;
+    for (auto& [n, t] : phases_) s += t;
+    return s;
+  }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  timer watch_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace parsemi

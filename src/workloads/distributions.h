@@ -1,0 +1,133 @@
+// Input generators for the paper's experiments (§5.1).
+//
+// Every distribution draws an integer "underlying key" v, then stores
+// hash64(v) as the record key — the paper's inputs are pre-hashed, so the
+// key *values* are uniform 64-bit words while the *multiplicity structure*
+// follows the distribution:
+//   * uniform(N):      v uniform in [1, N]  (smaller N ⇒ more duplicates)
+//   * exponential(λ):  v = ⌊Exp(mean λ)⌋    (mean λ, variance λ²)
+//   * zipfian(M):      P(v = i) = 1/(i·H_M) for i in [1, M]
+//
+// Generation is parallel and counter-based (record i's randomness depends
+// only on (seed, i)), so outputs are identical at every worker count.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+
+namespace internal {
+
+// Exact Zipf(s=1) sampler by rejection from the continuous 1/x envelope on
+// [1, M+1]: propose X = (M+1)^U, i = ⌊X⌋, accept with probability
+// ln2 / (i·ln(1+1/i)) ∈ (ln2, 1]. Expected < 1.5 proposals per draw and no
+// precomputed tables, so it parallelizes trivially.
+inline uint64_t zipf_draw(rng r, uint64_t m) {
+  if (m <= 1) return 1;
+  double log_m1 = std::log(static_cast<double>(m) + 1.0);
+  for (;;) {
+    double u = r.next_double();
+    double x = std::exp(u * log_m1);  // in [1, M+1)
+    uint64_t i = static_cast<uint64_t>(x);
+    if (i < 1) i = 1;
+    if (i > m) i = m;
+    double accept = std::numbers::ln2_v<double> /
+                    (static_cast<double>(i) *
+                     std::log1p(1.0 / static_cast<double>(i)));
+    if (r.next_double() < accept) return i;
+  }
+}
+
+}  // namespace internal
+
+enum class distribution_kind { uniform, exponential, zipfian };
+
+// A fully-specified workload: distribution class + its parameter.
+struct distribution_spec {
+  distribution_kind kind;
+  uint64_t parameter;  // N for uniform, λ for exponential, M for zipfian
+
+  std::string name() const {
+    switch (kind) {
+      case distribution_kind::uniform: return "uniform";
+      case distribution_kind::exponential: return "exponential";
+      case distribution_kind::zipfian: return "zipfian";
+    }
+    return "?";
+  }
+};
+
+// Underlying (un-hashed) key for record index i.
+inline uint64_t draw_underlying_key(const distribution_spec& spec, rng base,
+                                    uint64_t i) {
+  rng r = base.split(i);
+  switch (spec.kind) {
+    case distribution_kind::uniform:
+      return 1 + r.next_below(std::max<uint64_t>(1, spec.parameter));
+    case distribution_kind::exponential: {
+      // Inverse CDF, floored to an integer key; mean = λ.
+      double u = r.next_double();
+      double lambda = static_cast<double>(std::max<uint64_t>(1, spec.parameter));
+      return static_cast<uint64_t>(-lambda * std::log1p(-u));
+    }
+    case distribution_kind::zipfian:
+      return internal::zipf_draw(r, std::max<uint64_t>(1, spec.parameter));
+  }
+  return 0;
+}
+
+// Generates n pre-hashed records in parallel. payload = record index, which
+// tests use to verify the output is a permutation of the input.
+inline std::vector<record> generate_records(size_t n,
+                                            const distribution_spec& spec,
+                                            uint64_t seed = 1) {
+  std::vector<record> out(n);
+  rng base(splitmix64(seed));
+  parallel_for(0, n, [&](size_t i) {
+    uint64_t v = draw_underlying_key(spec, base, i);
+    out[i] = record{hash64(v), static_cast<uint64_t>(i)};
+  });
+  return out;
+}
+
+// The paper's 17 Table 1 / Figure 1 distributions, n = input size (uniform's
+// largest parameter and exponential's λ are expressed relative to n in the
+// paper's size-scaling experiments; Table 1 uses the absolute values below
+// with n = 10^8 — we keep the absolute values and let benches scale them).
+inline std::vector<distribution_spec> table1_distributions() {
+  using dk = distribution_kind;
+  return {
+      {dk::exponential, 100},     {dk::exponential, 1000},
+      {dk::exponential, 10000},   {dk::exponential, 100000},
+      {dk::exponential, 300000},  {dk::exponential, 1000000},
+      {dk::uniform, 10},          {dk::uniform, 100000},
+      {dk::uniform, 320000},      {dk::uniform, 500000},
+      {dk::uniform, 1000000},     {dk::uniform, 100000000},
+      {dk::zipfian, 10000},       {dk::zipfian, 100000},
+      {dk::zipfian, 1000000},     {dk::zipfian, 10000000},
+      {dk::zipfian, 100000000},
+  };
+}
+
+// Rescales a Table 1 parameter to a different input size. The paper's
+// parameters are tied to n = 10^8 — the duplicate structure (and thus the
+// heavy-record fraction) depends on n/parameter — so benches running at a
+// scaled-down n scale the parameters proportionally to preserve the shape.
+inline distribution_spec scaled_to(distribution_spec spec, size_t n,
+                                   size_t reference_n = 100000000) {
+  double factor = static_cast<double>(n) / static_cast<double>(reference_n);
+  auto scaled = static_cast<uint64_t>(
+      static_cast<double>(spec.parameter) * factor + 0.5);
+  spec.parameter = std::max<uint64_t>(1, scaled);
+  return spec;
+}
+
+}  // namespace parsemi

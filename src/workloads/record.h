@@ -1,0 +1,26 @@
+// The paper's experimental record type (§5.1): 8-byte pre-hashed key +
+// 8-byte payload, 16 bytes total.
+#pragma once
+
+#include <cstdint>
+
+namespace parsemi {
+
+struct record {
+  uint64_t key;      // pre-hashed 64-bit key (uniform over the hash range)
+  uint64_t payload;  // opaque 8-byte value carried along
+
+  friend bool operator==(const record& a, const record& b) = default;
+};
+static_assert(sizeof(record) == 16);
+
+// Key extractor used throughout; the semisort only ever touches `key`.
+struct record_key {
+  uint64_t operator()(const record& r) const { return r.key; }
+};
+
+inline bool record_key_less(const record& a, const record& b) {
+  return a.key < b.key;
+}
+
+}  // namespace parsemi

@@ -1,0 +1,170 @@
+// Tests for Phase 2 — heavy/light classification and bucket layout.
+#include "core/bucket_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+semisort_params default_params() { return semisort_params{}; }
+
+// A sorted sample with the given (key, count) runs.
+std::vector<uint64_t> make_sample(
+    std::vector<std::pair<uint64_t, size_t>> runs) {
+  std::vector<uint64_t> s;
+  for (auto& [key, count] : runs)
+    for (size_t i = 0; i < count; ++i) s.push_back(key);
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+TEST(BucketPlan, HeavyKeysDetectedAtDelta) {
+  auto params = default_params();  // delta = 16
+  auto sample = make_sample({{hash64(1), 16}, {hash64(2), 15}, {hash64(3), 40}});
+  auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
+                                params, params.alpha);
+  EXPECT_EQ(plan.num_heavy, 2u);  // counts 16 and 40; 15 is light
+  EXPECT_TRUE(plan.heavy_table->contains(hash64(1)));
+  EXPECT_FALSE(plan.heavy_table->contains(hash64(2)));
+  EXPECT_TRUE(plan.heavy_table->contains(hash64(3)));
+}
+
+TEST(BucketPlan, NoSampleMeansNoHeavyAndOneLightBucketUniverse) {
+  auto params = default_params();
+  std::vector<uint64_t> empty;
+  auto plan = build_bucket_plan(std::span<const uint64_t>(empty), 1000, params,
+                                params.alpha);
+  EXPECT_EQ(plan.num_heavy, 0u);
+  EXPECT_GE(plan.num_light, 1u);
+  // Every possible key maps to a valid bucket with nonzero capacity.
+  for (uint64_t key : {uint64_t{0}, ~uint64_t{0}, hash64(5)}) {
+    size_t b = plan.bucket_of(key);
+    ASSERT_LT(b, plan.num_buckets());
+    EXPECT_GT(plan.bucket_offset[b + 1], plan.bucket_offset[b]);
+  }
+}
+
+TEST(BucketPlan, EveryRangeIsMapped) {
+  auto params = default_params();
+  rng r(4);
+  std::vector<std::pair<uint64_t, size_t>> runs;
+  for (int i = 0; i < 500; ++i) runs.push_back({r.next(), 1 + r.next_below(30)});
+  auto sample = make_sample(runs);
+  auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
+                                params, params.alpha);
+  size_t num_ranges = plan.range_to_light_bucket.size();
+  for (size_t range = 0; range < num_ranges; ++range) {
+    ASSERT_LT(plan.range_to_light_bucket[range], plan.num_light) << range;
+  }
+  // Range → bucket mapping must be monotone (ranges merge contiguously).
+  for (size_t range = 1; range < num_ranges; ++range) {
+    ASSERT_LE(plan.range_to_light_bucket[range - 1],
+              plan.range_to_light_bucket[range]);
+    ASSERT_LE(plan.range_to_light_bucket[range] -
+                  plan.range_to_light_bucket[range - 1],
+              1u);
+  }
+}
+
+TEST(BucketPlan, OffsetsAreMonotoneAndCoverTotal) {
+  auto params = default_params();
+  auto sample = make_sample({{hash64(1), 100}, {hash64(2), 5}, {hash64(3), 20}});
+  auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
+                                params, params.alpha);
+  ASSERT_EQ(plan.bucket_offset.size(), plan.num_buckets() + 1);
+  EXPECT_EQ(plan.bucket_offset.front(), 0u);
+  for (size_t b = 0; b < plan.num_buckets(); ++b)
+    ASSERT_LE(plan.bucket_offset[b], plan.bucket_offset[b + 1]);
+  EXPECT_EQ(plan.bucket_offset.back(), plan.total_slots);
+  EXPECT_EQ(plan.bucket_offset[plan.num_heavy], plan.heavy_slots_end);
+}
+
+TEST(BucketPlan, HeavyBucketCapacityCoversEstimate) {
+  auto params = default_params();
+  size_t n = 1 << 24;
+  auto sample = make_sample({{hash64(9), 300}});
+  auto plan =
+      build_bucket_plan(std::span<const uint64_t>(sample), n, params, params.alpha);
+  ASSERT_EQ(plan.num_heavy, 1u);
+  size_t cap = plan.bucket_offset[1] - plan.bucket_offset[0];
+  EXPECT_GE(static_cast<double>(cap),
+            params.alpha * f_estimate(300, n, params.sampling_p, params.c));
+}
+
+TEST(BucketPlan, MergingReducesLightBucketCount) {
+  auto params = default_params();
+  rng r(7);
+  // 2000 light keys scattered uniformly: without merging there are 2^16
+  // buckets; with merging, ~ (#samples / δ).
+  std::vector<std::pair<uint64_t, size_t>> runs;
+  for (int i = 0; i < 2000; ++i) runs.push_back({r.next(), 2});
+  auto sample = make_sample(runs);
+
+  auto merged = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
+                                  params, params.alpha);
+  semisort_params no_merge = params;
+  no_merge.merge_light_buckets = false;
+  auto unmerged = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
+                                    no_merge, no_merge.alpha);
+  EXPECT_EQ(unmerged.num_light, params.num_hash_ranges);
+  EXPECT_LT(merged.num_light, unmerged.num_light / 10);
+  // Merging also shrinks total allocated space (the §4 point of it).
+  EXPECT_LT(merged.total_slots, unmerged.total_slots);
+}
+
+TEST(BucketPlan, MergedBucketsMeetDeltaSampleThreshold) {
+  auto params = default_params();
+  rng r(11);
+  std::vector<std::pair<uint64_t, size_t>> runs;
+  for (int i = 0; i < 5000; ++i) runs.push_back({r.next(), 1});
+  auto sample = make_sample(runs);
+  auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
+                                params, params.alpha);
+
+  // Re-derive each light bucket's sample count and check ≥ δ (all buckets;
+  // the trailing bucket is folded into its predecessor when under-full).
+  std::vector<size_t> bucket_samples(plan.num_light, 0);
+  for (uint64_t key : sample) {
+    if (plan.heavy_table->contains(key)) continue;
+    bucket_samples[plan.range_to_light_bucket[key >> plan.range_shift]]++;
+  }
+  size_t total = 0;
+  for (size_t j = 0; j < plan.num_light; ++j) {
+    total += bucket_samples[j];
+    EXPECT_GE(bucket_samples[j], params.delta) << "light bucket " << j;
+  }
+  EXPECT_EQ(total, sample.size());
+}
+
+TEST(BucketPlan, BucketOfRoutesHeavyAndLight) {
+  auto params = default_params();
+  auto sample = make_sample({{hash64(1), 50}, {hash64(2), 2}});
+  auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
+                                params, params.alpha);
+  ASSERT_EQ(plan.num_heavy, 1u);
+  EXPECT_LT(plan.bucket_of(hash64(1)), plan.num_heavy);    // heavy
+  EXPECT_GE(plan.bucket_of(hash64(2)), plan.num_heavy);    // light
+  EXPECT_GE(plan.bucket_of(hash64(12345)), plan.num_heavy);  // unseen ⇒ light
+}
+
+TEST(BucketPlan, PowerOfTwoCapacitiesWhenEnabled) {
+  auto params = default_params();
+  params.round_to_pow2 = true;  // the paper's rounding (default off here)
+  auto sample = make_sample({{hash64(1), 64}, {hash64(2), 17}});
+  auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
+                                params, params.alpha);
+  for (size_t b = 0; b < plan.num_buckets(); ++b) {
+    size_t cap = plan.bucket_offset[b + 1] - plan.bucket_offset[b];
+    ASSERT_EQ(cap & (cap - 1), 0u) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,91 @@
+// Tests for collect_reduce / count_by_key — the MapReduce-style reduction
+// layered on the semisort.
+#include "core/collect_reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+TEST(CollectReduce, SumsValuesPerKey) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  rng r(1);
+  std::map<uint64_t, uint64_t> expected;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t k = r.next_below(200);
+    uint64_t v = r.next_below(10);
+    pairs.emplace_back(k, v);
+    expected[k] += v;
+  }
+  auto got = collect_reduce(
+      std::span<const std::pair<uint64_t, uint64_t>>(pairs),
+      [](uint64_t k) { return hash64(k); },
+      [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+  ASSERT_EQ(got.size(), expected.size());
+  for (auto& [k, v] : got) ASSERT_EQ(v, expected.at(k)) << "key " << k;
+}
+
+TEST(CollectReduce, MaxReduction) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  rng r(2);
+  std::map<uint64_t, uint64_t> expected;
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t k = r.next_below(37);
+    uint64_t v = r.next();
+    pairs.emplace_back(k, v);
+    expected[k] = std::max(expected[k], v);
+  }
+  auto got = collect_reduce(
+      std::span<const std::pair<uint64_t, uint64_t>>(pairs),
+      [](uint64_t k) { return hash64(k); },
+      [](uint64_t a, uint64_t b) { return std::max(a, b); }, uint64_t{0});
+  ASSERT_EQ(got.size(), expected.size());
+  for (auto& [k, v] : got) ASSERT_EQ(v, expected.at(k));
+}
+
+TEST(CollectReduce, StringKeys) {
+  std::vector<std::pair<std::string, uint64_t>> pairs;
+  for (int i = 0; i < 40000; ++i)
+    pairs.emplace_back("k" + std::to_string(i % 13), 1);
+  auto got = collect_reduce(
+      std::span<const std::pair<std::string, uint64_t>>(pairs),
+      [](const std::string& s) { return hash_string(s); },
+      [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+  ASSERT_EQ(got.size(), 13u);
+  for (auto& [k, v] : got) EXPECT_NEAR(static_cast<double>(v), 40000.0 / 13, 1.0);
+}
+
+TEST(CollectReduce, EmptyInput) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  auto got = collect_reduce(
+      std::span<const std::pair<uint64_t, uint64_t>>(pairs),
+      [](uint64_t k) { return hash64(k); },
+      [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(CountByKey, MatchesMapCounts) {
+  std::vector<uint64_t> keys;
+  rng r(3);
+  std::map<uint64_t, size_t> expected;
+  for (int i = 0; i < 80000; ++i) {
+    uint64_t k = r.next_below(500);
+    keys.push_back(k);
+    expected[k]++;
+  }
+  auto got = count_by_key(std::span<const uint64_t>(keys),
+                          [](uint64_t k) { return hash64(k); });
+  ASSERT_EQ(got.size(), expected.size());
+  for (auto& [k, c] : got) ASSERT_EQ(c, expected.at(k));
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,113 @@
+// Tests for the stable parallel counting sort (the paper's §2 building
+// block): correctness vs the sequential reference, stability, and the
+// bucket-boundary output the radix sort relies on.
+#include "primitives/counting_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+struct keyed {
+  uint32_t key;
+  uint32_t tag;  // original index, to check stability
+  friend bool operator==(const keyed&, const keyed&) = default;
+};
+
+std::vector<keyed> random_input(size_t n, uint32_t num_buckets, uint64_t seed) {
+  std::vector<keyed> v(n);
+  rng r(seed);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = {static_cast<uint32_t>(r.next_below(num_buckets)),
+            static_cast<uint32_t>(i)};
+  return v;
+}
+
+struct Case {
+  size_t n;
+  size_t buckets;
+};
+
+class CountingSortCases : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CountingSortCases, MatchesSequentialReference) {
+  auto [n, buckets] = GetParam();
+  auto in = random_input(n, static_cast<uint32_t>(buckets), n + buckets);
+  std::vector<keyed> got(n), expected(n);
+  auto key = [](const keyed& k) { return static_cast<size_t>(k.key); };
+  counting_sort(std::span<const keyed>(in), std::span<keyed>(got), buckets, key);
+  counting_sort_seq(std::span<const keyed>(in), std::span<keyed>(expected),
+                    buckets, key);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(CountingSortCases, IsStable) {
+  auto [n, buckets] = GetParam();
+  auto in = random_input(n, static_cast<uint32_t>(buckets), n * 31 + buckets);
+  std::vector<keyed> got(n);
+  counting_sort(std::span<const keyed>(in), std::span<keyed>(got), buckets,
+                [](const keyed& k) { return static_cast<size_t>(k.key); });
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_LE(got[i - 1].key, got[i].key);
+    if (got[i - 1].key == got[i].key) {
+      ASSERT_LT(got[i - 1].tag, got[i].tag) << "instability at " << i;
+    }
+  }
+}
+
+TEST_P(CountingSortCases, BucketStartsAreCorrect) {
+  auto [n, buckets] = GetParam();
+  auto in = random_input(n, static_cast<uint32_t>(buckets), n + 7 * buckets);
+  std::vector<keyed> got(n);
+  std::vector<size_t> starts;
+  counting_sort(std::span<const keyed>(in), std::span<keyed>(got), buckets,
+                [](const keyed& k) { return static_cast<size_t>(k.key); },
+                &starts);
+  ASSERT_EQ(starts.size(), buckets + 1);
+  EXPECT_EQ(starts.front(), 0u);
+  EXPECT_EQ(starts.back(), n);
+  for (size_t q = 0; q < buckets; ++q) {
+    ASSERT_LE(starts[q], starts[q + 1]);
+    for (size_t i = starts[q]; i < starts[q + 1]; ++i)
+      ASSERT_EQ(got[i].key, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossShapes, CountingSortCases,
+    ::testing::Values(Case{0, 4}, Case{1, 1}, Case{100, 2}, Case{1000, 256},
+                      Case{4096, 256}, Case{100000, 256}, Case{100000, 3},
+                      Case{50000, 1024}, Case{250000, 256}, Case{10000, 1}));
+
+TEST(CountingSort, AllSameKey) {
+  std::vector<keyed> in(50000, keyed{7, 0});
+  for (size_t i = 0; i < in.size(); ++i) in[i].tag = static_cast<uint32_t>(i);
+  std::vector<keyed> got(in.size());
+  counting_sort(std::span<const keyed>(in), std::span<keyed>(got), 16,
+                [](const keyed& k) { return static_cast<size_t>(k.key); });
+  for (size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(got[i].key, 7u);
+    ASSERT_EQ(got[i].tag, i);  // stability ⇒ identity permutation
+  }
+}
+
+TEST(CountingSort, EmptyBucketsInMiddle) {
+  std::vector<keyed> in;
+  for (uint32_t i = 0; i < 1000; ++i) in.push_back({i % 2 == 0 ? 0u : 9u, i});
+  std::vector<keyed> got(in.size());
+  std::vector<size_t> starts;
+  counting_sort(std::span<const keyed>(in), std::span<keyed>(got), 10,
+                [](const keyed& k) { return static_cast<size_t>(k.key); },
+                &starts);
+  EXPECT_EQ(starts[1] - starts[0], 500u);
+  for (size_t q = 1; q <= 9; ++q) EXPECT_EQ(starts[q], 500u) << q;
+  EXPECT_EQ(starts[10] - starts[9], 500u);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,138 @@
+// Direct tests of the Chase–Lev work-stealing deque: owner-side LIFO
+// semantics, thief-side FIFO semantics, the single-element race, and a
+// multi-thief stress test that accounts for every pushed job exactly once.
+#include "scheduler/work_stealing_deque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace parsemi::internal {
+namespace {
+
+struct fake_job {
+  int id;
+};
+
+TEST(Deque, PopOnEmptyReturnsNull) {
+  work_stealing_deque<fake_job> d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, OwnerLifoOrder) {
+  work_stealing_deque<fake_job> d;
+  fake_job jobs[3] = {{1}, {2}, {3}};
+  for (auto& j : jobs) d.push(&j);
+  EXPECT_EQ(d.pop()->id, 3);
+  EXPECT_EQ(d.pop()->id, 2);
+  EXPECT_EQ(d.pop()->id, 1);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, ThiefFifoOrder) {
+  work_stealing_deque<fake_job> d;
+  fake_job jobs[3] = {{1}, {2}, {3}};
+  for (auto& j : jobs) d.push(&j);
+  EXPECT_EQ(d.steal()->id, 1);
+  EXPECT_EQ(d.steal()->id, 2);
+  EXPECT_EQ(d.steal()->id, 3);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, MixedPopAndSteal) {
+  work_stealing_deque<fake_job> d;
+  fake_job jobs[4] = {{1}, {2}, {3}, {4}};
+  for (auto& j : jobs) d.push(&j);
+  EXPECT_EQ(d.pop()->id, 4);    // owner takes newest
+  EXPECT_EQ(d.steal()->id, 1);  // thief takes oldest
+  EXPECT_EQ(d.pop()->id, 3);
+  EXPECT_EQ(d.steal()->id, 2);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, SizeApproxTracksContents) {
+  work_stealing_deque<fake_job> d;
+  fake_job j{1};
+  EXPECT_EQ(d.size_approx(), 0);
+  d.push(&j);
+  d.push(&j);
+  EXPECT_EQ(d.size_approx(), 2);
+  (void)d.pop();
+  EXPECT_EQ(d.size_approx(), 1);
+}
+
+TEST(Deque, InterleavedPushPopReusesCapacity) {
+  // Far more total pushes than kDequeCapacity must be fine as long as the
+  // live size stays small (the circular buffer wraps).
+  work_stealing_deque<fake_job> d;
+  fake_job j{1};
+  for (size_t round = 0; round < 4 * kDequeCapacity; ++round) {
+    d.push(&j);
+    ASSERT_NE(d.pop(), nullptr);
+  }
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(DequeStress, OwnerAndThievesAccountForEveryJob) {
+  // One owner pushes N jobs while popping intermittently; 3 thieves steal
+  // continuously. Every job must be taken exactly once (ids are unique and
+  // each taker records what it got).
+  constexpr int kJobs = 200000;
+  constexpr int kThieves = 3;
+  work_stealing_deque<fake_job> d;
+  std::vector<fake_job> jobs(kJobs);
+  for (int i = 0; i < kJobs; ++i) jobs[i].id = i;
+
+  std::vector<std::atomic<uint8_t>> taken(kJobs);
+  for (auto& t : taken) t.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+  std::atomic<int> total_taken{0};
+
+  auto take = [&](fake_job* j) {
+    ASSERT_NE(j, nullptr);
+    uint8_t prev = taken[j->id].fetch_add(1, std::memory_order_relaxed);
+    ASSERT_EQ(prev, 0) << "job " << j->id << " taken twice";
+    total_taken.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        fake_job* j = d.steal();
+        if (j != nullptr) take(j);
+      }
+      // Drain anything left after the owner finished.
+      for (fake_job* j = d.steal(); j != nullptr; j = d.steal()) take(j);
+    });
+  }
+
+  // Owner: push all jobs, popping one after every third push to mix
+  // owner-side traffic into the race, and draining when the deque gets
+  // near capacity (thieves may be slow; overflow aborts by design).
+  for (int i = 0; i < kJobs; ++i) {
+    d.push(&jobs[i]);
+    if (i % 3 == 2) {
+      fake_job* j = d.pop();
+      if (j != nullptr) take(j);
+    }
+    while (d.size_approx() > static_cast<int64_t>(kDequeCapacity / 2)) {
+      fake_job* j = d.pop();
+      if (j != nullptr) take(j);
+    }
+  }
+  for (fake_job* j = d.pop(); j != nullptr; j = d.pop()) take(j);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(total_taken.load(), kJobs);
+  for (int i = 0; i < kJobs; ++i)
+    ASSERT_EQ(taken[i].load(), 1) << "job " << i;
+}
+
+}  // namespace
+}  // namespace parsemi::internal

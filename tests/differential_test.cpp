@@ -1,0 +1,107 @@
+// Randomized differential testing: the parallel semisort against the
+// sequential chained-hash reference, over randomly drawn (distribution,
+// size, parameter-knob, seed) configurations. Catches interactions no
+// hand-written case covers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/semisort.h"
+#include "core/sequential.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+distribution_spec random_spec(rng& r) {
+  auto kind = static_cast<distribution_kind>(r.next_below(3));
+  uint64_t param = 0;
+  switch (kind) {
+    case distribution_kind::uniform:
+      param = 1 + r.next_below(1ull << (1 + r.next_below(30)));
+      break;
+    case distribution_kind::exponential:
+      param = 1 + r.next_below(1ull << (1 + r.next_below(20)));
+      break;
+    case distribution_kind::zipfian:
+      param = 1 + r.next_below(1ull << (1 + r.next_below(27)));
+      break;
+  }
+  return {kind, param};
+}
+
+semisort_params random_params(rng& r) {
+  semisort_params p;
+  p.sampling_p = 1.0 / static_cast<double>(1 << (2 + r.next_below(5)));
+  p.delta = 2 + r.next_below(64);
+  p.num_hash_ranges = 1ull << (3 + r.next_below(15));
+  p.merge_light_buckets = r.next_below(2) == 0;
+  p.round_to_pow2 = r.next_below(2) == 0;
+  p.light_bucket_samples = 8 + r.next_below(256);
+  p.alpha = 1.05 + r.next_double() * 0.5;
+  p.probing = r.next_below(4) == 0 ? semisort_params::probe_strategy::random
+                                   : semisort_params::probe_strategy::linear;
+  p.local_sort = r.next_below(4) == 0
+                     ? semisort_params::local_sort_algo::counting_by_naming
+                     : semisort_params::local_sort_algo::std_sort;
+  p.sample_sort_with = static_cast<semisort_params::sample_sorter>(
+      r.next_below(3));
+  p.pack_intervals = 1 + r.next_below(5000);
+  p.seed = r.next();
+  return p;
+}
+
+TEST(Differential, RandomConfigurationsAgreeWithReference) {
+  rng meta(20260706);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 1000 + meta.next_below(120000);
+    distribution_spec spec = random_spec(meta);
+    semisort_params params = random_params(meta);
+    auto in = generate_records(n, spec, meta.next());
+
+    std::vector<record> out(n);
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+
+    auto reference = semisort_seq_chained(std::span<const record>(in));
+
+    ASSERT_TRUE(testing::records_semisorted(out))
+        << "trial " << trial << " " << spec.name() << "(" << spec.parameter
+        << ") n=" << n;
+    ASSERT_TRUE(testing::records_permutation(out, reference))
+        << "trial " << trial;
+    // Group-size histograms must agree exactly.
+    auto got = testing::key_counts(std::span<const record>(out), record_key{});
+    auto want =
+        testing::key_counts(std::span<const record>(reference), record_key{});
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (auto& [k, c] : want) ASSERT_EQ(got.at(k), c) << "trial " << trial;
+  }
+}
+
+TEST(Differential, GeneralApiAgainstSortBaseline) {
+  rng meta(777);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = 500 + meta.next_below(40000);
+    uint64_t vocab = 1 + meta.next_below(1 << 12);
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) v = meta.next_below(vocab);
+    auto out = semisort(std::span<const uint64_t>(values),
+                        [](uint64_t v) { return v; },
+                        [](uint64_t v) { return hash64(v); });
+    ASSERT_EQ(out.size(), n);
+    ASSERT_TRUE(testing::is_semisorted(
+        std::span<const uint64_t>(out), [](uint64_t v) { return v; }))
+        << "trial " << trial;
+    std::vector<uint64_t> sorted_out(out), sorted_in(values);
+    std::sort(sorted_out.begin(), sorted_out.end());
+    std::sort(sorted_in.begin(), sorted_in.end());
+    ASSERT_EQ(sorted_out, sorted_in) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace parsemi

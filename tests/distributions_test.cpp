@@ -1,0 +1,144 @@
+// Tests for the workload generators: statistical shape of each distribution
+// and determinism of the counter-based parallel generation.
+#include "workloads/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+namespace {
+
+std::unordered_map<uint64_t, size_t> multiplicities(
+    const std::vector<record>& recs) {
+  std::unordered_map<uint64_t, size_t> m;
+  for (const auto& r : recs) m[r.key]++;
+  return m;
+}
+
+TEST(Distributions, GenerationIsDeterministic) {
+  distribution_spec spec{distribution_kind::exponential, 1000};
+  auto a = generate_records(50000, spec, 7);
+  auto b = generate_records(50000, spec, 7);
+  EXPECT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Distributions, DifferentSeedsDiffer) {
+  distribution_spec spec{distribution_kind::uniform, 1000000};
+  auto a = generate_records(10000, spec, 1);
+  auto b = generate_records(10000, spec, 2);
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += (a[i].key == b[i].key);
+  EXPECT_LT(same, 10u);
+}
+
+TEST(Distributions, DeterministicAcrossWorkerCounts) {
+  distribution_spec spec{distribution_kind::zipfian, 100000};
+  int original = num_workers();
+  set_num_workers(1);
+  auto a = generate_records(30000, spec, 3);
+  set_num_workers(4);
+  auto b = generate_records(30000, spec, 3);
+  set_num_workers(original);
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Distributions, PayloadIsRecordIndex) {
+  auto recs = generate_records(1000, {distribution_kind::uniform, 10}, 5);
+  for (size_t i = 0; i < recs.size(); ++i) EXPECT_EQ(recs[i].payload, i);
+}
+
+TEST(Distributions, UniformSmallRangeHitsAllValues) {
+  // N = 10 over 100k draws: all 10 hashed values present, each ≈ 10%.
+  auto recs = generate_records(100000, {distribution_kind::uniform, 10}, 11);
+  auto m = multiplicities(recs);
+  EXPECT_EQ(m.size(), 10u);
+  for (auto& [k, c] : m) EXPECT_NEAR(static_cast<double>(c), 10000.0, 600.0);
+}
+
+TEST(Distributions, UniformLargeRangeMostlyDistinct) {
+  auto recs = generate_records(100000, {distribution_kind::uniform, 1u << 30}, 13);
+  auto m = multiplicities(recs);
+  EXPECT_GT(m.size(), 99000u);  // birthday collisions only
+}
+
+TEST(Distributions, ExponentialMeanMatchesLambda) {
+  constexpr uint64_t kLambda = 1000;
+  auto recs = generate_records(200000, {distribution_kind::exponential, kLambda}, 17);
+  // Recover underlying values by regenerating them (hash64 is one-way here,
+  // so recompute through draw_underlying_key).
+  rng base(splitmix64(17));
+  distribution_spec spec{distribution_kind::exponential, kLambda};
+  double sum = 0;
+  for (size_t i = 0; i < recs.size(); ++i)
+    sum += static_cast<double>(draw_underlying_key(spec, base, i));
+  double mean = sum / static_cast<double>(recs.size());
+  // Flooring shifts the mean down by ~0.5.
+  EXPECT_NEAR(mean, static_cast<double>(kLambda) - 0.5, 15.0);
+}
+
+TEST(Distributions, ExponentialSkewsTowardSmallValues) {
+  auto recs = generate_records(100000, {distribution_kind::exponential, 100}, 19);
+  auto m = multiplicities(recs);
+  // Mean 100 ⇒ ~few hundred distinct values dominate.
+  EXPECT_LT(m.size(), 3000u);
+  size_t max_count = 0;
+  for (auto& [k, c] : m) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 500u);  // value 0 alone has P ≈ 1%
+}
+
+TEST(Distributions, ZipfFrequenciesFollowOneOverRank) {
+  constexpr uint64_t kM = 1000;
+  constexpr size_t kN = 400000;
+  distribution_spec spec{distribution_kind::zipfian, kM};
+  rng base(splitmix64(23));
+  std::map<uint64_t, size_t> counts;
+  for (size_t i = 0; i < kN; ++i) counts[draw_underlying_key(spec, base, i)]++;
+  double h_m = 0;
+  for (uint64_t i = 1; i <= kM; ++i) h_m += 1.0 / static_cast<double>(i);
+  // Check the head of the distribution against 1/(i·H_M) within 10%.
+  for (uint64_t i : {1ull, 2ull, 3ull, 5ull, 10ull}) {
+    double expected = static_cast<double>(kN) / (static_cast<double>(i) * h_m);
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 0.1 * expected)
+        << "rank " << i;
+  }
+  // Support stays within [1, M].
+  EXPECT_GE(counts.begin()->first, 1u);
+  EXPECT_LE(counts.rbegin()->first, kM);
+}
+
+TEST(Distributions, ZipfParameterOneDegeneratesToConstant) {
+  auto recs = generate_records(1000, {distribution_kind::zipfian, 1}, 29);
+  auto m = multiplicities(recs);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Distributions, Table1SetHas17Entries) {
+  auto specs = table1_distributions();
+  EXPECT_EQ(specs.size(), 17u);
+  size_t exp = 0, uni = 0, zipf = 0;
+  for (auto& s : specs) {
+    if (s.kind == distribution_kind::exponential) exp++;
+    if (s.kind == distribution_kind::uniform) uni++;
+    if (s.kind == distribution_kind::zipfian) zipf++;
+  }
+  EXPECT_EQ(exp, 6u);
+  EXPECT_EQ(uni, 6u);
+  EXPECT_EQ(zipf, 5u);
+}
+
+TEST(Distributions, KeysAreHashed) {
+  // Underlying small integers must not appear as raw keys.
+  auto recs = generate_records(1000, {distribution_kind::uniform, 10}, 31);
+  for (const auto& r : recs) EXPECT_GT(r.key, 1000000ULL);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,131 @@
+// Tests for the f(s) size estimator (§3.1): analytic properties
+// (monotonicity, the s/p lower bound), the Lemma 3.2 upper-bound guarantee
+// (empirically, via repeated sampling), and the Lemma 3.5 linear-total
+// property that makes the allocation O(n) space.
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+constexpr double kP = 1.0 / 16.0;
+constexpr double kC = 1.25;
+
+TEST(Estimator, MonotoneInS) {
+  for (size_t n : {1000ul, 1000000ul}) {
+    double prev = f_estimate(0, n, kP, kC);
+    for (size_t s = 1; s < 2000; ++s) {
+      double cur = f_estimate(static_cast<double>(s), n, kP, kC);
+      ASSERT_GT(cur, prev) << "s=" << s << " n=" << n;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Estimator, AtLeastExpectation) {
+  // f(s) ≥ s/p: the bound can never be below the unbiased estimate.
+  for (size_t s : {0ul, 1ul, 16ul, 1000ul, 100000ul}) {
+    EXPECT_GE(f_estimate(static_cast<double>(s), 1000000, kP, kC),
+              static_cast<double>(s) / kP);
+  }
+}
+
+TEST(Estimator, ClosedFormMatchesDefinition) {
+  // Spot-check the formula f(s) = (s + c·ln n + sqrt(c²ln²n + 2sc·ln n))/p.
+  size_t n = 100000000;
+  double cln = kC * std::log(static_cast<double>(n));
+  for (double s : {0.0, 5.0, 16.0, 250.0, 10000.0}) {
+    double expected = (s + cln + std::sqrt(cln * cln + 2 * s * cln)) / kP;
+    EXPECT_DOUBLE_EQ(f_estimate(s, n, kP, kC), expected);
+  }
+}
+
+TEST(Estimator, GrowsWithC) {
+  EXPECT_LT(f_estimate(100, 1000000, kP, 0.5),
+            f_estimate(100, 1000000, kP, 2.0));
+}
+
+TEST(Estimator, Lemma32UpperBoundHoldsEmpirically) {
+  // A key with true multiplicity ν in an input of n records; sample each
+  // occurrence with probability p and check ν ≤ f(σ) essentially always.
+  // (The lemma guarantees failure probability ≤ n^-c; over 2000 trials we
+  // allow zero failures — the actual failure rate here is astronomically
+  // smaller because ν is small relative to the bound.)
+  rng r(2024);
+  size_t n = 1 << 20;
+  for (size_t nu : {100ul, 1000ul, 40000ul}) {
+    for (int trial = 0; trial < 700; ++trial) {
+      size_t sigma = 0;
+      for (size_t j = 0; j < nu; ++j)
+        sigma += (r.next_double() < kP) ? 1 : 0;
+      double bound = f_estimate(static_cast<double>(sigma), n, kP, kC);
+      ASSERT_GE(bound, static_cast<double>(nu))
+          << "nu=" << nu << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Estimator, Lemma35TotalIsLinear) {
+  // Σ f(s_i) over Θ(n/log²n) buckets with Σ s_i ≈ np must be O(n).
+  // Emulate the worst realistic shapes: all samples spread evenly, and all
+  // samples concentrated in a few buckets.
+  size_t n = 100000000;
+  size_t num_buckets = 65536;  // the implementation default
+  size_t total_samples = static_cast<size_t>(n * kP);
+
+  auto total_alloc = [&](const std::vector<size_t>& s) {
+    double sum = 0;
+    for (size_t si : s) sum += f_estimate(static_cast<double>(si), n, kP, kC);
+    return sum;
+  };
+
+  std::vector<size_t> even(num_buckets, total_samples / num_buckets);
+  std::vector<size_t> skewed(num_buckets, 0);
+  skewed[0] = total_samples;
+  // Even: every bucket pays the additive c·ln n floor ⇒ the constant is
+  // bigger but still a small multiple of n.
+  EXPECT_LT(total_alloc(even), 8.0 * static_cast<double>(n));
+  EXPECT_GT(total_alloc(even), static_cast<double>(n));
+  // Skewed: essentially one bucket of size ~n.
+  EXPECT_LT(total_alloc(skewed), 2.0 * static_cast<double>(n));
+}
+
+TEST(BucketCapacity, RespectsAlphaAndRounding) {
+  semisort_params params;
+  params.round_to_pow2 = true;  // the paper's rounding, off by default here
+  size_t n = 1 << 24;
+  size_t cap = bucket_capacity(256, n, params, params.alpha);
+  EXPECT_EQ(cap & (cap - 1), 0u);
+  EXPECT_GE(static_cast<double>(cap),
+            params.alpha * f_estimate(256, n, params.sampling_p, params.c));
+
+  semisort_params no_round = params;
+  no_round.round_to_pow2 = false;
+  size_t raw = bucket_capacity(256, n, no_round, no_round.alpha);
+  EXPECT_LE(raw, cap);
+  EXPECT_EQ(raw, static_cast<size_t>(std::ceil(
+                     no_round.alpha *
+                     f_estimate(256, n, no_round.sampling_p, no_round.c))));
+}
+
+TEST(BucketCapacity, AlphaOverrideGrowsCapacity) {
+  semisort_params params;
+  size_t n = 1 << 20;
+  EXPECT_LT(bucket_capacity(100, n, params, 1.1),
+            bucket_capacity(100, n, params, 4.4));
+}
+
+TEST(BucketCapacity, NeverZero) {
+  semisort_params params;
+  EXPECT_GE(bucket_capacity(0, 4, params, params.alpha), 1u);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,138 @@
+// Tests for the phase-concurrent linear-probing hash table, including the
+// concurrent-insert phase discipline and the reserved-sentinel key.
+#include "hashing/phase_concurrent_hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+TEST(HashTable, InsertThenFind) {
+  phase_concurrent_hash_table<uint32_t> t(100);
+  EXPECT_TRUE(t.insert(42, 7));
+  EXPECT_TRUE(t.insert(43, 8));
+  EXPECT_EQ(t.find(42), std::optional<uint32_t>(7));
+  EXPECT_EQ(t.find(43), std::optional<uint32_t>(8));
+  EXPECT_EQ(t.find(44), std::nullopt);
+}
+
+TEST(HashTable, DuplicateInsertKeepsFirstValue) {
+  phase_concurrent_hash_table<uint32_t> t(10);
+  EXPECT_TRUE(t.insert(5, 1));
+  EXPECT_FALSE(t.insert(5, 2));
+  EXPECT_EQ(t.find(5), std::optional<uint32_t>(1));
+}
+
+TEST(HashTable, SentinelKeyIsAValidKey) {
+  // The all-ones key doubles as the internal empty marker; it must still be
+  // storable and findable.
+  phase_concurrent_hash_table<uint32_t> t(10);
+  uint64_t k = ~0ULL;
+  EXPECT_FALSE(t.contains(k));
+  EXPECT_TRUE(t.insert(k, 99));
+  EXPECT_FALSE(t.insert(k, 100));
+  EXPECT_EQ(t.find(k), std::optional<uint32_t>(99));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(HashTable, ZeroKeyWorks) {
+  phase_concurrent_hash_table<uint32_t> t(10);
+  EXPECT_TRUE(t.insert(0, 3));
+  EXPECT_EQ(t.find(0), std::optional<uint32_t>(3));
+}
+
+TEST(HashTable, CapacityIsPowerOfTwoAndSufficient) {
+  for (size_t expected : {1ul, 3ul, 100ul, 4097ul}) {
+    phase_concurrent_hash_table<uint32_t> t(expected);
+    EXPECT_GE(t.capacity(), 2 * expected);
+    EXPECT_EQ(t.capacity() & (t.capacity() - 1), 0u);
+  }
+}
+
+TEST(HashTable, ManySequentialInserts) {
+  constexpr size_t kN = 50000;
+  phase_concurrent_hash_table<uint64_t> t(kN);
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(t.insert(hash64(i), i)) << i;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_EQ(t.find(hash64(i)), std::optional<uint64_t>(i)) << i;
+  EXPECT_EQ(t.size(), kN);
+}
+
+TEST(HashTable, ConcurrentInsertPhaseDistinctKeys) {
+  constexpr size_t kN = 100000;
+  phase_concurrent_hash_table<uint64_t> t(kN);
+  parallel_for(0, kN, [&](size_t i) { t.insert(hash64(i), i); });
+  // Find phase (after the parallel_for barrier).
+  std::atomic<size_t> missing{0};
+  parallel_for(0, kN, [&](size_t i) {
+    auto v = t.find(hash64(i));
+    if (!v || *v != i) missing.fetch_add(1);
+  });
+  EXPECT_EQ(missing.load(), 0u);
+  EXPECT_EQ(t.size(), kN);
+}
+
+TEST(HashTable, ConcurrentInsertPhaseDuplicateKeysExactlyOneWinner) {
+  // Every worker inserts the same 64 keys; each key must appear once, and
+  // all writers carry the value derived from the key so any winner is fine.
+  constexpr size_t kAttempts = 50000;
+  phase_concurrent_hash_table<uint64_t> t(64);
+  std::atomic<size_t> winners{0};
+  parallel_for(0, kAttempts, [&](size_t i) {
+    uint64_t key = hash64(i % 64);
+    if (t.insert(key, key * 2)) winners.fetch_add(1);
+  });
+  EXPECT_EQ(winners.load(), 64u);
+  EXPECT_EQ(t.size(), 64u);
+  for (uint64_t k = 0; k < 64; ++k)
+    EXPECT_EQ(t.find(hash64(k)), std::optional<uint64_t>(hash64(k) * 2));
+}
+
+TEST(HashTable, ForEachEnumeratesAllEntries) {
+  phase_concurrent_hash_table<uint32_t> t(100);
+  for (uint64_t i = 0; i < 50; ++i) t.insert(hash64(i), static_cast<uint32_t>(i));
+  t.insert(~0ULL, 999);
+  std::vector<std::pair<uint64_t, uint32_t>> seen;
+  t.for_each([&](uint64_t k, uint32_t v) { seen.emplace_back(k, v); });
+  EXPECT_EQ(seen.size(), 51u);
+  uint64_t value_sum = 0;
+  for (auto [k, v] : seen) value_sum += v;
+  EXPECT_EQ(value_sum, 49ull * 50 / 2 + 999);
+}
+
+TEST(HashTable, EmptyTableQueries) {
+  phase_concurrent_hash_table<uint32_t> t(16);
+  EXPECT_TRUE(t.empty_table());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains(123));
+  t.insert(1, 1);
+  EXPECT_FALSE(t.empty_table());
+}
+
+TEST(HashTable, AdversarialClusteredKeys) {
+  // Keys engineered to land on consecutive slots force long probe chains.
+  phase_concurrent_hash_table<uint32_t> t(512);
+  size_t cap = t.capacity();
+  std::vector<uint64_t> keys;
+  uint64_t k = 0;
+  while (keys.size() < 300) {
+    if ((murmur_mix64(k) & (cap - 1)) < 8) keys.push_back(k);
+    ++k;
+  }
+  for (size_t i = 0; i < keys.size(); ++i)
+    ASSERT_TRUE(t.insert(keys[i], static_cast<uint32_t>(i)));
+  for (size_t i = 0; i < keys.size(); ++i)
+    ASSERT_EQ(t.find(keys[i]), std::optional<uint32_t>(i));
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,66 @@
+// Tests for the parallel histogram primitive.
+#include "primitives/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+class HistogramSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HistogramSizes, MatchesSequentialCount) {
+  size_t n = GetParam();
+  constexpr size_t kBuckets = 97;
+  std::vector<uint32_t> v(n);
+  rng r(n + 41);
+  for (auto& x : v) x = static_cast<uint32_t>(r.next_below(kBuckets));
+  auto got = histogram(std::span<const uint32_t>(v), kBuckets,
+                       [](uint32_t x) { return static_cast<size_t>(x); });
+  std::vector<size_t> want(kBuckets, 0);
+  for (uint32_t x : v) want[x]++;
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossSizes, HistogramSizes,
+                         ::testing::Values(0, 1, 100, 4096, 100000, 1000003));
+
+TEST(Histogram, SingleBucket) {
+  std::vector<uint32_t> v(50000, 0);
+  auto got = histogram(std::span<const uint32_t>(v), 1,
+                       [](uint32_t) { return size_t{0}; });
+  EXPECT_EQ(got, std::vector<size_t>{50000});
+}
+
+TEST(Histogram, EmptyBucketsStayZero) {
+  std::vector<uint32_t> v(10000, 7);
+  auto got = histogram(std::span<const uint32_t>(v), 16,
+                       [](uint32_t x) { return static_cast<size_t>(x); });
+  for (size_t k = 0; k < 16; ++k)
+    EXPECT_EQ(got[k], k == 7 ? 10000u : 0u) << k;
+}
+
+TEST(Histogram, IndexVariantAgrees) {
+  constexpr size_t kN = 200000, kBuckets = 256;
+  auto got = histogram_index(kN, kBuckets,
+                             [](size_t i) { return i % kBuckets; });
+  for (size_t k = 0; k < kBuckets; ++k) {
+    size_t want = kN / kBuckets + (k < kN % kBuckets ? 1 : 0);
+    ASSERT_EQ(got[k], want) << k;
+  }
+}
+
+TEST(Histogram, ManyBucketsFewElements) {
+  std::vector<uint32_t> v = {5, 70000, 5};
+  auto got = histogram(std::span<const uint32_t>(v), 1 << 17,
+                       [](uint32_t x) { return static_cast<size_t>(x); });
+  EXPECT_EQ(got[5], 2u);
+  EXPECT_EQ(got[70000], 1u);
+}
+
+}  // namespace
+}  // namespace parsemi

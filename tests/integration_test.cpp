@@ -1,0 +1,139 @@
+// Integration tests: the example applications' logic (word count shuffle,
+// hash join, graph neighbor grouping) verified against sequential
+// references, plus a full-pipeline determinism check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/collect_reduce.h"
+#include "core/group_by.h"
+#include "core/semisort.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+// --- MapReduce word count (examples/wordcount_shuffle.cpp logic) ---
+TEST(Integration, WordCountShuffleMatchesSequential) {
+  std::vector<std::string> vocabulary = {"the", "a",  "of",    "parallel",
+                                         "semisort", "is", "fast", "on",
+                                         "many",     "cores"};
+  rng r(1);
+  std::vector<std::pair<std::string, uint64_t>> mapped;
+  std::map<std::string, uint64_t> expected;
+  for (int i = 0; i < 100000; ++i) {
+    // Zipf-ish word frequencies.
+    size_t w = 0;
+    while (w + 1 < vocabulary.size() && r.next_below(2) == 0) ++w;
+    mapped.emplace_back(vocabulary[w], 1);
+    expected[vocabulary[w]] += 1;
+  }
+  auto counts = collect_reduce(
+      std::span<const std::pair<std::string, uint64_t>>(mapped),
+      [](const std::string& s) { return hash_string(s); },
+      [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+  ASSERT_EQ(counts.size(), expected.size());
+  for (auto& [word, count] : counts) ASSERT_EQ(count, expected.at(word));
+}
+
+// --- Hash join (examples/hash_join.cpp logic) ---
+struct row {
+  uint64_t key;
+  uint64_t value;
+};
+
+std::vector<std::pair<uint64_t, uint64_t>> semisort_join(
+    std::span<const row> left, std::span<const row> right) {
+  // Join via semisorted concatenation: tag each row with its side, group by
+  // key, then emit the cross product within each group.
+  struct tagged {
+    uint64_t key;
+    uint64_t value;
+    uint64_t side;
+  };
+  std::vector<tagged> all;
+  all.reserve(left.size() + right.size());
+  for (auto& r : left) all.push_back({r.key, r.value, 0});
+  for (auto& r : right) all.push_back({r.key, r.value, 1});
+  auto g = group_by_hashed(std::span<const tagged>(all),
+                           [](const tagged& t) { return t.key; });
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t grp = 0; grp < g.num_groups(); ++grp) {
+    auto span = g.group(grp);
+    for (auto& a : span)
+      if (a.side == 0)
+        for (auto& b : span)
+          if (b.side == 1) out.emplace_back(a.value, b.value);
+  }
+  return out;
+}
+
+TEST(Integration, SemisortJoinMatchesNestedLoopJoin) {
+  rng r(2);
+  std::vector<row> left, right;
+  for (int i = 0; i < 5000; ++i)
+    left.push_back({hash64(r.next_below(300)), r.next_below(1000000)});
+  for (int i = 0; i < 7000; ++i)
+    right.push_back({hash64(r.next_below(300)), r.next_below(1000000)});
+
+  auto got = semisort_join(left, right);
+
+  std::vector<std::pair<uint64_t, uint64_t>> expected;
+  for (auto& a : left)
+    for (auto& b : right)
+      if (a.key == b.key) expected.emplace_back(a.value, b.value);
+
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+// --- Graph neighbor grouping (examples/graph_neighbors.cpp logic) ---
+TEST(Integration, EdgeGroupingBuildsCorrectAdjacency) {
+  // Random multigraph edges (u, v); group by source to form adjacency
+  // lists, compare against a sequential bucket build.
+  rng r(3);
+  constexpr uint64_t kVertices = 2000;
+  std::vector<record> edges(150000);
+  for (auto& e : edges)
+    e = {hash64(r.next_below(kVertices)), r.next_below(kVertices)};
+
+  auto g = group_by_hashed(std::span<const record>(edges));
+
+  std::unordered_map<uint64_t, std::vector<uint64_t>> expected;
+  for (auto& e : edges) expected[e.key].push_back(e.payload);
+
+  ASSERT_EQ(g.num_groups(), expected.size());
+  for (size_t grp = 0; grp < g.num_groups(); ++grp) {
+    auto span = g.group(grp);
+    auto& exp = expected.at(span.front().key);
+    ASSERT_EQ(span.size(), exp.size());
+    std::vector<uint64_t> got_neighbors;
+    for (auto& e : span) got_neighbors.push_back(e.payload);
+    std::sort(got_neighbors.begin(), got_neighbors.end());
+    std::vector<uint64_t> exp_sorted = exp;
+    std::sort(exp_sorted.begin(), exp_sorted.end());
+    ASSERT_EQ(got_neighbors, exp_sorted);
+  }
+}
+
+// --- Pipeline consistency: parallel semisort vs every sequential baseline
+TEST(Integration, ParallelAgreesWithSequentialBaselinesOnGroups) {
+  auto in = generate_records(60000, {distribution_kind::exponential, 300}, 4);
+  auto par = semisort_hashed(std::span<const record>(in));
+  ASSERT_TRUE(testing::valid_semisort(par, in));
+  auto counts_par = testing::key_counts(std::span<const record>(par), record_key{});
+  auto counts_in = testing::key_counts(std::span<const record>(in), record_key{});
+  EXPECT_EQ(counts_par.size(), counts_in.size());
+  for (auto& [k, c] : counts_in) ASSERT_EQ(counts_par.at(k), c);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,124 @@
+// Tests for parallel merge and parallel merge sort.
+#include "primitives/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+namespace {
+
+std::vector<uint64_t> sorted_random(size_t n, uint64_t seed, uint64_t range) {
+  std::vector<uint64_t> v(n);
+  rng r(seed);
+  for (auto& x : v) x = r.next_below(range);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+struct MergeCase {
+  size_t na;
+  size_t nb;
+};
+
+class MergeSizes : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(MergeSizes, ProducesSortedPermutation) {
+  auto [na, nb] = GetParam();
+  auto a = sorted_random(na, na + 1, 1u << 30);
+  auto b = sorted_random(nb, nb + 2, 1u << 30);
+  std::vector<uint64_t> out(na + nb);
+  parallel_merge(std::span<const uint64_t>(a), std::span<const uint64_t>(b),
+                 std::span<uint64_t>(out));
+  std::vector<uint64_t> expected;
+  expected.reserve(na + nb);
+  expected.insert(expected.end(), a.begin(), a.end());
+  expected.insert(expected.end(), b.begin(), b.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossShapes, MergeSizes,
+    ::testing::Values(MergeCase{0, 0}, MergeCase{0, 100}, MergeCase{100, 0},
+                      MergeCase{1, 1}, MergeCase{1000, 1000},
+                      MergeCase{100000, 100000}, MergeCase{200000, 37},
+                      MergeCase{37, 200000}, MergeCase{1 << 18, 1 << 17}));
+
+TEST(ParallelMerge, ManyDuplicatesAcrossInputs) {
+  auto a = sorted_random(100000, 5, 50);
+  auto b = sorted_random(100000, 6, 50);
+  std::vector<uint64_t> out(a.size() + b.size());
+  parallel_merge(std::span<const uint64_t>(a), std::span<const uint64_t>(b),
+                 std::span<uint64_t>(out));
+  for (size_t i = 1; i < out.size(); ++i) ASSERT_LE(out[i - 1], out[i]);
+}
+
+TEST(ParallelMerge, DisjointRanges) {
+  auto a = sorted_random(50000, 7, 1000);
+  auto b = sorted_random(50000, 8, 1000);
+  for (auto& x : b) x += 10000;  // b strictly above a
+  std::vector<uint64_t> out(a.size() + b.size());
+  parallel_merge(std::span<const uint64_t>(a), std::span<const uint64_t>(b),
+                 std::span<uint64_t>(out));
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), out.begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), out.begin() + a.size()));
+}
+
+class MergeSortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MergeSortSizes, SortsUniform) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 11);
+  for (auto& x : v) x = r.next();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_merge_sort(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(MergeSortSizes, SortsSkewed) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 12);
+  for (auto& x : v) x = r.next_below(8);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_merge_sort(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossSizes, MergeSortSizes,
+                         ::testing::Values(0, 1, 2, 100, 8192, 8193, 100000,
+                                           1 << 19));
+
+TEST(ParallelMergeSort, CustomComparatorOnRecords) {
+  std::vector<record> v(100000);
+  rng r(13);
+  for (size_t i = 0; i < v.size(); ++i)
+    v[i] = {r.next_below(1000), static_cast<uint64_t>(i)};
+  parallel_merge_sort(std::span<record>(v), record_key_less);
+  for (size_t i = 1; i < v.size(); ++i) ASSERT_LE(v[i - 1].key, v[i].key);
+}
+
+TEST(ParallelMergeSort, AgreesWithStdSortOnManyTrials) {
+  rng r(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1000 + r.next_below(50000);
+    std::vector<uint64_t> v(n);
+    for (auto& x : v) x = r.next_below(1 + r.next_below(1u << 20));
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    parallel_merge_sort(std::span<uint64_t>(v));
+    ASSERT_EQ(v, expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,153 @@
+// Nested-parallelism robustness: whole semisorts running inside other
+// parallel constructs (fork-join branches, parallel_for bodies). The
+// scheduler must keep all of it deadlock-free and correct — this is how a
+// real application (e.g. a parallel query engine) would call the library.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/semisort.h"
+#include "scheduler/scheduler.h"
+#include "sort/radix_sort.h"
+#include "test_helpers.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+class NestedParallelism : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = num_workers();
+    set_num_workers(4);
+  }
+  void TearDown() override { set_num_workers(saved_); }
+  int saved_ = 1;
+};
+
+TEST_F(NestedParallelism, TwoConcurrentSemisorts) {
+  auto in_a = generate_records(60000, {distribution_kind::exponential, 100}, 1);
+  auto in_b = generate_records(50000, {distribution_kind::uniform, 1u << 28}, 2);
+  std::vector<record> out_a(in_a.size()), out_b(in_b.size());
+  par_do(
+      [&] {
+        semisort_hashed(std::span<const record>(in_a),
+                        std::span<record>(out_a));
+      },
+      [&] {
+        semisort_hashed(std::span<const record>(in_b),
+                        std::span<record>(out_b));
+      });
+  EXPECT_TRUE(testing::valid_semisort(out_a, in_a));
+  EXPECT_TRUE(testing::valid_semisort(out_b, in_b));
+}
+
+TEST_F(NestedParallelism, SemisortInsideParallelFor) {
+  constexpr size_t kPartitions = 6;
+  std::vector<std::vector<record>> inputs(kPartitions);
+  std::vector<std::vector<record>> outputs(kPartitions);
+  for (size_t p = 0; p < kPartitions; ++p) {
+    inputs[p] = generate_records(
+        20000 + p * 3000, {distribution_kind::zipfian, 1000 + p}, p + 10);
+    outputs[p].resize(inputs[p].size());
+  }
+  parallel_for(
+      0, kPartitions,
+      [&](size_t p) {
+        semisort_hashed(std::span<const record>(inputs[p]),
+                        std::span<record>(outputs[p]));
+      },
+      1);
+  for (size_t p = 0; p < kPartitions; ++p)
+    EXPECT_TRUE(testing::valid_semisort(outputs[p], inputs[p])) << p;
+}
+
+TEST_F(NestedParallelism, SemisortBesideRadixSort) {
+  auto in = generate_records(80000, {distribution_kind::exponential, 500}, 3);
+  std::vector<record> semi_out(in.size());
+  std::vector<record> radix_out(in.begin(), in.end());
+  par_do(
+      [&] {
+        semisort_hashed(std::span<const record>(in),
+                        std::span<record>(semi_out));
+      },
+      [&] { radix_sort(std::span<record>(radix_out), record_key{}); });
+  EXPECT_TRUE(testing::valid_semisort(semi_out, in));
+  for (size_t i = 1; i < radix_out.size(); ++i)
+    ASSERT_LE(radix_out[i - 1].key, radix_out[i].key);
+}
+
+TEST_F(NestedParallelism, DeeplyNestedParDoWithSemisortLeaves) {
+  std::atomic<int> valid{0};
+  auto leaf = [&](uint64_t seed) {
+    auto in = generate_records(15000, {distribution_kind::uniform, 300}, seed);
+    auto out = semisort_hashed(std::span<const record>(in));
+    if (testing::valid_semisort(out, in)) valid.fetch_add(1);
+  };
+  par_do([&] { par_do([&] { leaf(1); }, [&] { leaf(2); }); },
+         [&] { par_do([&] { leaf(3); }, [&] { leaf(4); }); });
+  EXPECT_EQ(valid.load(), 4);
+}
+
+TEST(ForeignThread, FullSemisortFromNonPoolThread) {
+  // A thread the scheduler has never seen must still be able to run the
+  // whole pipeline (it degrades to sequential execution internally).
+  auto in = generate_records(60000, {distribution_kind::exponential, 300}, 5);
+  std::vector<record> out(in.size());
+  bool ok = false;
+  std::thread outsider([&] {
+    semisort_hashed(std::span<const record>(in), std::span<record>(out));
+    ok = testing::valid_semisort(out, in);
+  });
+  outsider.join();
+  EXPECT_TRUE(ok);
+}
+
+TEST(ParamsValidation, RejectsNonsenseConfigurations) {
+  auto in = generate_records(10000, {distribution_kind::uniform, 100}, 1);
+  std::vector<record> out(in.size());
+  auto run = [&](semisort_params p) {
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, p);
+  };
+  {
+    semisort_params p;
+    p.sampling_p = 0.0;
+    EXPECT_THROW(run(p), std::invalid_argument);
+  }
+  {
+    semisort_params p;
+    p.sampling_p = 1.5;
+    EXPECT_THROW(run(p), std::invalid_argument);
+  }
+  {
+    semisort_params p;
+    p.alpha = -1.0;
+    EXPECT_THROW(run(p), std::invalid_argument);
+  }
+  {
+    semisort_params p;
+    p.c = 0.0;
+    EXPECT_THROW(run(p), std::invalid_argument);
+  }
+  {
+    semisort_params p;
+    p.num_hash_ranges = 1;
+    EXPECT_THROW(run(p), std::invalid_argument);
+  }
+  {
+    semisort_params p;
+    p.delta = 0;
+    EXPECT_THROW(run(p), std::invalid_argument);
+  }
+  {
+    semisort_params p;  // defaults are valid
+    EXPECT_NO_THROW(run(p));
+  }
+}
+
+}  // namespace
+}  // namespace parsemi

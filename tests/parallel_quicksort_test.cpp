@@ -1,0 +1,74 @@
+// Tests for the parallel quicksort (STL-parallel-sort stand-in baseline).
+#include "sort/parallel_quicksort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+class QuicksortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QuicksortSizes, SortsUniform) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 21);
+  for (auto& x : v) x = r.next();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_quicksort(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(QuicksortSizes, SortsFewDistinct) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 22);
+  for (auto& x : v) x = r.next_below(4);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_quicksort(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossSizes, QuicksortSizes,
+                         ::testing::Values(0, 1, 2, 3, 1000, 16385, 300000,
+                                           1 << 20));
+
+TEST(ParallelQuicksort, AllEqualDoesNotBlowUp) {
+  // The three-way partition must keep all-equal inputs O(n), not O(n²);
+  // with a two-way partition this test would effectively hang.
+  std::vector<uint64_t> v(1 << 21, 42);
+  parallel_quicksort(std::span<uint64_t>(v));
+  for (uint64_t x : v) ASSERT_EQ(x, 42u);
+}
+
+TEST(ParallelQuicksort, SortedAndReverseSortedInputs) {
+  std::vector<int> v(500000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  auto expected = v;
+  parallel_quicksort(std::span<int>(v));
+  EXPECT_EQ(v, expected);
+  std::reverse(v.begin(), v.end());
+  parallel_quicksort(std::span<int>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ParallelQuicksort, CustomComparator) {
+  std::vector<int> v(100000);
+  rng r(1);
+  for (auto& x : v) x = static_cast<int>(r.next_below(1000)) - 500;
+  parallel_quicksort(std::span<int>(v), [](int a, int b) {
+    return std::abs(a) < std::abs(b);
+  });
+  for (size_t i = 1; i < v.size(); ++i)
+    ASSERT_LE(std::abs(v[i - 1]), std::abs(v[i]));
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,132 @@
+// Tests for the top-down parallel radix sort.
+#include "sort/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+namespace {
+
+class RadixSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RadixSizes, SortsUniformKeys) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 1);
+  for (auto& x : v) x = r.next();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_u64(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(RadixSizes, SortsSkewedKeys) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 2);
+  for (auto& x : v) x = hash64(r.next_below(10));  // 10 distinct values
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_u64(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossSizes, RadixSizes,
+                         ::testing::Values(0, 1, 2, 100, 8192, 8193, 100000,
+                                           1 << 20));
+
+TEST(RadixSort, SmallRangeUsesFewerLevels) {
+  // max_key hint must not change the result.
+  std::vector<uint64_t> v(200000);
+  rng r(3);
+  for (auto& x : v) x = r.next_below(1000);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  auto hinted = v;
+  radix_sort_u64(std::span<uint64_t>(hinted), 999);
+  EXPECT_EQ(hinted, expected);
+}
+
+TEST(RadixSort, RecordsByKeyPermutationPreserved) {
+  constexpr size_t kN = 300000;
+  std::vector<record> v(kN);
+  rng r(17);
+  for (size_t i = 0; i < kN; ++i)
+    v[i] = {hash64(r.next_below(5000)), static_cast<uint64_t>(i)};
+  uint64_t payload_sum_before = 0, key_xor_before = 0;
+  for (auto& rec : v) {
+    payload_sum_before += rec.payload;
+    key_xor_before ^= rec.key;
+  }
+  radix_sort(std::span<record>(v), record_key{});
+  uint64_t payload_sum_after = 0, key_xor_after = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    if (i > 0) {
+      ASSERT_LE(v[i - 1].key, v[i].key) << i;
+    }
+    payload_sum_after += v[i].payload;
+    key_xor_after ^= v[i].key;
+  }
+  EXPECT_EQ(payload_sum_before, payload_sum_after);
+  EXPECT_EQ(key_xor_before, key_xor_after);
+}
+
+TEST(RadixSort, AllEqualKeys) {
+  std::vector<uint64_t> v(100000, 0xdeadbeefULL);
+  radix_sort_u64(std::span<uint64_t>(v));
+  for (uint64_t x : v) ASSERT_EQ(x, 0xdeadbeefULL);
+}
+
+TEST(RadixSort, AlreadySortedAndReversed) {
+  std::vector<uint64_t> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i * 1000;
+  auto expected = v;
+  radix_sort_u64(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+  std::reverse(v.begin(), v.end());
+  radix_sort_u64(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST(RadixSort, ExtremeBitPatterns) {
+  std::vector<uint64_t> v = {~0ULL, 0, 1ULL << 63, (1ULL << 63) - 1, 1, ~0ULL, 0};
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  // Pad to exceed the sequential threshold so the parallel path runs.
+  std::vector<uint64_t> big(v);
+  rng r(9);
+  while (big.size() < 100000) big.push_back(r.next());
+  auto big_expected = big;
+  std::sort(big_expected.begin(), big_expected.end());
+  radix_sort_u64(std::span<uint64_t>(big));
+  EXPECT_EQ(big, big_expected);
+  radix_sort_u64(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST(RadixSort, CustomKeyExtractor) {
+  struct item {
+    uint32_t weight;
+    uint32_t id;
+  };
+  std::vector<item> v(50000);
+  rng r(5);
+  for (size_t i = 0; i < v.size(); ++i)
+    v[i] = {static_cast<uint32_t>(r.next_below(100)),
+            static_cast<uint32_t>(i)};
+  radix_sort(std::span<item>(v),
+             [](const item& it) { return static_cast<uint64_t>(it.weight); },
+             99);
+  for (size_t i = 1; i < v.size(); ++i)
+    ASSERT_LE(v[i - 1].weight, v[i].weight);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,75 @@
+// Tests for the deterministic parallel random permutation / shuffle.
+#include "primitives/random_shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+namespace {
+
+TEST(RandomPermutation, IsAPermutation) {
+  for (size_t n : {0ul, 1ul, 2ul, 1000ul, 100000ul}) {
+    auto perm = random_permutation(n, 7);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<uint8_t> seen(n, 0);
+    for (size_t x : perm) {
+      ASSERT_LT(x, n);
+      ASSERT_EQ(seen[x], 0);
+      seen[x] = 1;
+    }
+  }
+}
+
+TEST(RandomPermutation, DeterministicPerSeed) {
+  auto a = random_permutation(50000, 42);
+  auto b = random_permutation(50000, 42);
+  EXPECT_EQ(a, b);
+  auto c = random_permutation(50000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomPermutation, SameAtEveryWorkerCount) {
+  int saved = num_workers();
+  set_num_workers(1);
+  auto seq = random_permutation(80000, 5);
+  set_num_workers(4);
+  auto par = random_permutation(80000, 5);
+  set_num_workers(saved);
+  EXPECT_EQ(seq, par);
+}
+
+TEST(RandomPermutation, LooksUniform) {
+  // Mean displacement of a uniform permutation of [0,n) is ≈ n/3.
+  constexpr size_t kN = 100000;
+  auto perm = random_permutation(kN, 11);
+  double total_displacement = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    total_displacement += std::abs(static_cast<double>(perm[i]) -
+                                   static_cast<double>(i));
+  }
+  double mean = total_displacement / kN;
+  EXPECT_NEAR(mean, kN / 3.0, kN / 30.0);
+  // No long identity prefix.
+  size_t fixed = 0;
+  for (size_t i = 0; i < kN; ++i) fixed += (perm[i] == i);
+  EXPECT_LT(fixed, 20u);  // expected ≈ 1 fixed point
+}
+
+TEST(RandomShuffle, PreservesMultiset) {
+  std::vector<int> v(60000);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  random_shuffle(std::span<int>(v), 99);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace parsemi {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceMixer) {
+  // splitmix64(x) must equal the reference implementation's output for a
+  // state of x (one gamma increment + finalizer). Note parsemi's rng steps
+  // its counter by 1, not by the gamma — it is a counter-based generator:
+  // next() at state s is splitmix64(s), splitmix64(s+1), ... by design.
+  auto reference = [](uint64_t state) {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (uint64_t x : {0ull, 1ull, 1234567ull, ~0ull}) {
+    EXPECT_EQ(splitmix64(x), reference(x));
+  }
+  rng r(1234567);
+  for (uint64_t i = 0; i < 16; ++i) EXPECT_EQ(r.next(), reference(1234567 + i));
+}
+
+TEST(SplitMix64, Deterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Rng, IthMatchesSequentialNext) {
+  rng a(99), b(99);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(b.ith(i), rng(99).ith(i));
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.ith(i));
+}
+
+TEST(Rng, IthIsOrderIndependent) {
+  rng r(7);
+  uint64_t fifth = r.ith(5);
+  (void)r.ith(0);
+  (void)r.ith(100);
+  EXPECT_EQ(r.ith(5), fifth);
+}
+
+TEST(Rng, NextBelowInRange) {
+  rng r(1);
+  for (uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  rng r(123);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[r.next_below(kBuckets)]++;
+  double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 0.05 * expected) << "bucket " << b;
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  rng r(55);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  rng base(11);
+  rng a = base.split(1);
+  rng b = base.split(2);
+  int equal = 0;
+  for (uint64_t i = 0; i < 64; ++i) equal += (a.ith(i) == b.ith(i)) ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  rng base(11);
+  EXPECT_EQ(base.split(3).next(), base.split(3).next());
+}
+
+TEST(Rng, NoShortCycles) {
+  rng r(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) seen.insert(r.next());
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,135 @@
+// Tests for the Rajasekaran–Reif-style integer sort and the §3.2
+// alternative semisort built on it (naming + integer sort).
+#include "sort/rr_integer_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+struct item {
+  uint32_t key;
+  uint32_t tag;
+  friend bool operator==(const item&, const item&) = default;
+};
+
+std::vector<item> random_items(size_t n, size_t range, uint64_t seed) {
+  std::vector<item> v(n);
+  rng r(seed);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = {static_cast<uint32_t>(r.next_below(range)),
+            static_cast<uint32_t>(i)};
+  return v;
+}
+
+void check_sorted_permutation(const std::vector<item>& out,
+                              const std::vector<item>& in) {
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 1; i < out.size(); ++i)
+    ASSERT_LE(out[i - 1].key, out[i].key) << i;
+  uint64_t tag_sum_in = 0, tag_sum_out = 0, tag_xor_in = 0, tag_xor_out = 0;
+  for (auto& x : in) {
+    tag_sum_in += x.tag;
+    tag_xor_in ^= (static_cast<uint64_t>(x.key) << 32) | x.tag;
+  }
+  for (auto& x : out) {
+    tag_sum_out += x.tag;
+    tag_xor_out ^= (static_cast<uint64_t>(x.key) << 32) | x.tag;
+  }
+  EXPECT_EQ(tag_sum_in, tag_sum_out);
+  EXPECT_EQ(tag_xor_in, tag_xor_out);
+}
+
+struct Case {
+  size_t n;
+  size_t range;
+};
+
+class RRUnstable : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RRUnstable, SortsWithinRange) {
+  auto [n, range] = GetParam();
+  auto in = random_items(n, range, n + range);
+  std::vector<item> out(n);
+  rr_unstable_sort(std::span<const item>(in), std::span<item>(out), range,
+                   [](const item& x) { return static_cast<size_t>(x.key); });
+  check_sorted_permutation(out, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossShapes, RRUnstable,
+    ::testing::Values(Case{1000, 16}, Case{100000, 256}, Case{100000, 4096},
+                      Case{200000, 2}, Case{50000, 50000}));
+
+class RRIntegerSort : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RRIntegerSort, FullRangeSort) {
+  auto [n, range] = GetParam();
+  auto v = random_items(n, range, n * 3 + range);
+  auto in = v;
+  rr_integer_sort(std::span<item>(v), range,
+                  [](const item& x) { return static_cast<size_t>(x.key); });
+  check_sorted_permutation(v, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossShapes, RRIntegerSort,
+    ::testing::Values(Case{1000, 1000}, Case{100000, 1u << 20},
+                      Case{300000, 1u << 24}, Case{100000, 7777},
+                      Case{200000, 3}, Case{64, 4}));
+
+TEST(RRIntegerSort, EmptyAndSingleton) {
+  std::vector<item> v;
+  rr_integer_sort(std::span<item>(v), 100,
+                  [](const item& x) { return static_cast<size_t>(x.key); });
+  v = {{5, 0}};
+  rr_integer_sort(std::span<item>(v), 100,
+                  [](const item& x) { return static_cast<size_t>(x.key); });
+  EXPECT_EQ(v[0], (item{5, 0}));
+}
+
+TEST(RRIntegerSort, AllEqualKeys) {
+  auto v = random_items(100000, 1, 9);
+  auto in = v;
+  rr_integer_sort(std::span<item>(v), 2,
+                  [](const item& x) { return static_cast<size_t>(x.key); });
+  check_sorted_permutation(v, in);
+}
+
+TEST(RRSemisort, ContractOnRepresentativeDistributions) {
+  for (auto spec : {distribution_spec{distribution_kind::uniform, 1u << 30},
+                    distribution_spec{distribution_kind::exponential, 200},
+                    distribution_spec{distribution_kind::zipfian, 10000}}) {
+    auto in = generate_records(80000, spec, 21);
+    std::vector<record> out(in.size());
+    rr_semisort(std::span<const record>(in), std::span<record>(out),
+                record_key{});
+    ASSERT_TRUE(testing::valid_semisort(out, in)) << spec.name();
+  }
+}
+
+TEST(RRSemisort, AllEqualAndAllDistinct) {
+  std::vector<record> same(50000);
+  for (size_t i = 0; i < same.size(); ++i) same[i] = {123456789ULL, i};
+  std::vector<record> out(same.size());
+  rr_semisort(std::span<const record>(same), std::span<record>(out),
+              record_key{});
+  EXPECT_TRUE(testing::valid_semisort(out, same));
+
+  std::vector<record> distinct(50000);
+  for (size_t i = 0; i < distinct.size(); ++i) distinct[i] = {hash64(i), i};
+  rr_semisort(std::span<const record>(distinct), std::span<record>(out),
+              record_key{});
+  EXPECT_TRUE(testing::valid_semisort(out, distinct));
+}
+
+}  // namespace
+}  // namespace parsemi

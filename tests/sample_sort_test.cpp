@@ -1,0 +1,86 @@
+// Tests for the parallel sample sort baseline.
+#include "sort/sample_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+namespace {
+
+class SampleSortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SampleSortSizes, SortsUniform) {
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 1);
+  for (auto& x : v) x = r.next();
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SampleSortSizes, SortsHeavilySkewed) {
+  // Nearly all elements equal — the splitter degenerate case.
+  size_t n = GetParam();
+  std::vector<uint64_t> v(n);
+  rng r(n + 5);
+  for (auto& x : v) x = r.next_below(100) == 0 ? r.next() : 7777ULL;
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(std::span<uint64_t>(v));
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossSizes, SampleSortSizes,
+                         ::testing::Values(0, 1, 2, 1000, 16384, 16385,
+                                           200000, 1 << 20));
+
+TEST(SampleSort, CustomComparatorDescending) {
+  std::vector<int> v(100000);
+  rng r(8);
+  for (auto& x : v) x = static_cast<int>(r.next_below(1000000));
+  sample_sort(std::span<int>(v), std::greater<int>{});
+  for (size_t i = 1; i < v.size(); ++i) ASSERT_GE(v[i - 1], v[i]);
+}
+
+TEST(SampleSort, RecordsByKey) {
+  std::vector<record> v(150000);
+  rng r(12);
+  for (size_t i = 0; i < v.size(); ++i)
+    v[i] = {r.next_below(1 << 20), static_cast<uint64_t>(i)};
+  uint64_t payload_sum = 0;
+  for (auto& rec : v) payload_sum += rec.payload;
+  sample_sort(std::span<record>(v), record_key_less);
+  uint64_t payload_sum_after = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      ASSERT_LE(v[i - 1].key, v[i].key);
+    }
+    payload_sum_after += v[i].payload;
+  }
+  EXPECT_EQ(payload_sum, payload_sum_after);
+}
+
+TEST(SampleSort, AllEqual) {
+  std::vector<uint64_t> v(200000, 5);
+  sample_sort(std::span<uint64_t>(v));
+  for (uint64_t x : v) ASSERT_EQ(x, 5u);
+}
+
+TEST(SampleSort, TwoDistinctValues) {
+  std::vector<uint64_t> v(200000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i % 2;
+  sample_sort(std::span<uint64_t>(v));
+  for (size_t i = 1; i < v.size(); ++i) ASSERT_LE(v[i - 1], v[i]);
+}
+
+}  // namespace
+}  // namespace parsemi

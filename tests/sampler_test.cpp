@@ -1,0 +1,98 @@
+// Tests for Phase 1's strided sampler.
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hashing/hash64.h"
+#include "util/rng.h"
+#include "workloads/record.h"
+
+namespace parsemi {
+namespace {
+
+std::vector<record> records_with_keys(const std::vector<uint64_t>& keys) {
+  std::vector<record> v(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) v[i] = {keys[i], i};
+  return v;
+}
+
+TEST(Sampler, SampleSizeIsFloorNP) {
+  for (size_t n : {16ul, 100ul, 1000ul, 12345ul}) {
+    std::vector<record> in(n, record{1, 1});
+    auto s = sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16,
+                         rng(1));
+    EXPECT_EQ(s.size(), static_cast<size_t>(n / 16.0)) << n;
+  }
+}
+
+TEST(Sampler, ZeroForTinyInput) {
+  std::vector<record> in(3, record{1, 1});
+  auto s =
+      sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16, rng(1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Sampler, OnePerStrideExactly) {
+  // With n = 160 and p = 1/16 there are 10 samples, sample i drawn from
+  // records [16i, 16(i+1)). Tag each stride with a distinct key and check.
+  constexpr size_t kN = 160;
+  std::vector<uint64_t> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = i / 16;  // stride id as key
+  auto in = records_with_keys(keys);
+  auto s =
+      sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16, rng(7));
+  ASSERT_EQ(s.size(), 10u);
+  for (size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], i) << "stride " << i;
+}
+
+TEST(Sampler, DeterministicForFixedRng) {
+  std::vector<record> in(10000);
+  rng gen(3);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = {gen.next(), i};
+  auto a = sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16,
+                       rng(55));
+  auto b = sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16,
+                       rng(55));
+  EXPECT_EQ(a, b);
+  auto c = sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16,
+                       rng(56));
+  EXPECT_NE(a, c);
+}
+
+TEST(Sampler, PerKeyExpectationMatchesP) {
+  // A key occupying a fraction q of the input should get ≈ q·n·p samples.
+  constexpr size_t kN = 1 << 20;
+  std::vector<uint64_t> keys(kN);
+  rng gen(9);
+  for (auto& k : keys) k = gen.next_below(4);  // 4 keys, 25% each
+  auto in = records_with_keys(keys);
+  double total = 0;
+  constexpr int kTrials = 8;
+  std::unordered_map<uint64_t, size_t> counts;
+  for (int t = 0; t < kTrials; ++t) {
+    auto s = sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16,
+                         rng(100 + t));
+    total += static_cast<double>(s.size());
+    for (uint64_t k : s) counts[k]++;
+  }
+  double expected_per_key = total / 4.0;
+  for (auto& [k, c] : counts)
+    EXPECT_NEAR(static_cast<double>(c), expected_per_key,
+                0.05 * expected_per_key)
+        << "key " << k;
+}
+
+TEST(Sampler, DifferentSamplingProbabilities) {
+  std::vector<record> in(100000, record{5, 5});
+  for (double p : {0.5, 0.25, 1.0 / 64}) {
+    auto s = sample_keys(std::span<const record>(in), record_key{}, p, rng(1));
+    EXPECT_EQ(s.size(), static_cast<size_t>(100000 * p));
+  }
+}
+
+}  // namespace
+}  // namespace parsemi

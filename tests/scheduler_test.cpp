@@ -1,0 +1,158 @@
+// Tests for the work-stealing scheduler: fork-join correctness, nesting,
+// parallel_for coverage, worker-count changes, and a stress test hammering
+// the Chase–Lev deques through deeply nested forks.
+#include "scheduler/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace parsemi {
+namespace {
+
+TEST(Scheduler, PoolStartsWithAtLeastOneWorker) {
+  EXPECT_GE(num_workers(), 1);
+}
+
+TEST(Scheduler, MainThreadIsWorkerZero) { EXPECT_EQ(worker_id(), 0); }
+
+TEST(Scheduler, ParDoRunsBothSides) {
+  std::atomic<int> count{0};
+  par_do([&] { count += 1; }, [&] { count += 2; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Scheduler, ParDoNested) {
+  std::atomic<int> count{0};
+  par_do(
+      [&] {
+        par_do([&] { count += 1; }, [&] { count += 2; });
+      },
+      [&] {
+        par_do([&] { count += 4; }, [&] { count += 8; });
+      });
+  EXPECT_EQ(count.load(), 15);
+}
+
+TEST(Scheduler, DeepForkRecursion) {
+  // A fork tree 2^14 leaves deep exercises deque push/pop/steal heavily.
+  std::atomic<int64_t> sum{0};
+  std::function<void(int64_t, int64_t)> go = [&](int64_t lo, int64_t hi) {
+    if (hi - lo == 1) {
+      sum += lo;
+      return;
+    }
+    int64_t mid = lo + (hi - lo) / 2;
+    par_do([&] { go(lo, mid); }, [&] { go(mid, hi); });
+  };
+  go(0, 1 << 14);
+  EXPECT_EQ(sum.load(), (int64_t(1) << 13) * ((1 << 14) - 1));
+}
+
+TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 1 << 18;
+  std::vector<std::atomic<uint8_t>> hits(kN);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  parallel_for(0, kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Scheduler, ParallelForEmptyAndSingleton) {
+  int count = 0;
+  parallel_for(5, 5, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, ParallelForNonzeroStart) {
+  std::atomic<int64_t> sum{0};
+  parallel_for(1000, 2000, [&](size_t i) { sum += static_cast<int64_t>(i); });
+  EXPECT_EQ(sum.load(), (1000 + 1999) * 1000 / 2);  // Σ 1000..1999
+}
+
+TEST(Scheduler, ParallelForExplicitGranularity) {
+  std::atomic<int64_t> sum{0};
+  parallel_for(0, 10001, [&](size_t i) { sum += static_cast<int64_t>(i); }, 3);
+  EXPECT_EQ(sum.load(), int64_t(10000) * 10001 / 2);
+}
+
+TEST(Scheduler, ParallelForBlocksTilesExactly) {
+  constexpr size_t kN = 100000, kBlock = 1333;
+  std::vector<std::atomic<uint8_t>> hits(kN);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  std::atomic<size_t> blocks{0};
+  parallel_for_blocks(kN, kBlock, [&](size_t b, size_t lo, size_t hi) {
+    EXPECT_EQ(lo, b * kBlock);
+    EXPECT_LE(hi, kN);
+    for (size_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    blocks.fetch_add(1);
+  });
+  EXPECT_EQ(blocks.load(), (kN + kBlock - 1) / kBlock);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(Scheduler, SetNumWorkersChangesPoolSize) {
+  int original = num_workers();
+  set_num_workers(3);
+  EXPECT_EQ(num_workers(), 3);
+  std::atomic<int64_t> sum{0};
+  parallel_for(0, 100000, [&](size_t i) { sum += static_cast<int64_t>(i); });
+  EXPECT_EQ(sum.load(), int64_t(99999) * 100000 / 2);
+  set_num_workers(1);
+  EXPECT_EQ(num_workers(), 1);
+  sum = 0;
+  parallel_for(0, 1000, [&](size_t i) { sum += static_cast<int64_t>(i); });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  set_num_workers(original);
+}
+
+TEST(Scheduler, ForeignThreadFallsBackToSequential) {
+  std::atomic<int> count{0};
+  std::thread outsider([&] {
+    EXPECT_EQ(worker_id(), -1);
+    par_do([&] { count += 1; }, [&] { count += 2; });
+    parallel_for(0, 100, [&](size_t) { count += 1; });
+  });
+  outsider.join();
+  EXPECT_EQ(count.load(), 103);
+}
+
+TEST(Scheduler, StressManySmallRegions) {
+  // Many short parallel regions back to back stress wake/sleep transitions.
+  set_num_workers(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    parallel_for(0, 512, [&](size_t i) { sum += static_cast<int64_t>(i); }, 16);
+    ASSERT_EQ(sum.load(), 511 * 512 / 2) << "round " << round;
+  }
+  set_num_workers(1);
+}
+
+TEST(Scheduler, UnbalancedForkLoad) {
+  // One side much heavier than the other: the join must still help-steal.
+  set_num_workers(4);
+  std::atomic<int64_t> sum{0};
+  par_do(
+      [&] {
+        for (int i = 0; i < 1000; ++i) sum += 1;
+      },
+      [&] {
+        parallel_for(0, 1 << 16, [&](size_t) { sum += 1; });
+      });
+  EXPECT_EQ(sum.load(), 1000 + (1 << 16));
+  set_num_workers(1);
+}
+
+}  // namespace
+}  // namespace parsemi

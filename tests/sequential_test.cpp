@@ -1,0 +1,109 @@
+// Tests for the four sequential semisort baselines (§5.4) — they must all
+// satisfy the same contract so the benchmark comparison is apples-to-apples.
+#include "core/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "test_helpers.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+using semisort_fn = std::vector<record> (*)(std::span<const record>, record_key);
+
+struct Baseline {
+  semisort_fn fn;
+  const char* name;
+};
+
+class SequentialBaselines : public ::testing::TestWithParam<int> {};
+
+std::vector<Baseline> baselines() {
+  return {
+      {&semisort_seq_chained<record, record_key>, "chained"},
+      {&semisort_seq_two_phase<record, record_key>, "two_phase"},
+      {&semisort_seq_stl<record, record_key>, "stl"},
+      {&semisort_seq_sort<record, record_key>, "sort"},
+  };
+}
+
+TEST_P(SequentialBaselines, ContractOnAllDistributionClasses) {
+  auto b = baselines()[static_cast<size_t>(GetParam())];
+  for (auto spec : {distribution_spec{distribution_kind::uniform, 1 << 28},
+                    distribution_spec{distribution_kind::uniform, 7},
+                    distribution_spec{distribution_kind::exponential, 100},
+                    distribution_spec{distribution_kind::zipfian, 10000}}) {
+    auto in = generate_records(40000, spec, 13);
+    auto out = b.fn(std::span<const record>(in), record_key{});
+    ASSERT_TRUE(testing::valid_semisort(out, in))
+        << b.name << " on " << spec.name();
+  }
+}
+
+TEST_P(SequentialBaselines, EdgeCases) {
+  auto b = baselines()[static_cast<size_t>(GetParam())];
+  // empty
+  std::vector<record> empty;
+  EXPECT_TRUE(b.fn(std::span<const record>(empty), record_key{}).empty());
+  // singleton
+  std::vector<record> one = {{9, 3}};
+  auto out1 = b.fn(std::span<const record>(one), record_key{});
+  ASSERT_EQ(out1.size(), 1u);
+  EXPECT_EQ(out1[0], (record{9, 3}));
+  // all equal
+  std::vector<record> same(5000, record{5, 0});
+  for (size_t i = 0; i < same.size(); ++i) same[i].payload = i;
+  auto out2 = b.fn(std::span<const record>(same), record_key{});
+  EXPECT_TRUE(testing::valid_semisort(out2, same));
+  // extreme key values
+  std::vector<record> extreme;
+  for (size_t i = 0; i < 3000; ++i)
+    extreme.push_back({i % 2 == 0 ? 0ULL : ~0ULL, i});
+  auto out3 = b.fn(std::span<const record>(extreme), record_key{});
+  EXPECT_TRUE(testing::valid_semisort(out3, extreme));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, SequentialBaselines,
+                         ::testing::Range(0, 4));
+
+TEST(SequentialChained, GroupsAreInputReverseOrder) {
+  // The chained baseline prepends to each list, so within a group records
+  // appear in reverse input order — still a valid semisort; this pins down
+  // the behaviour the paper's performance discussion refers to (list
+  // traversal vs direct writes).
+  std::vector<record> in = {{1, 0}, {2, 1}, {1, 2}, {1, 3}};
+  auto out = semisort_seq_chained(std::span<const record>(in));
+  ASSERT_TRUE(testing::valid_semisort(out, in));
+  for (size_t i = 0; i + 1 < out.size(); ++i)
+    if (out[i].key == out[i + 1].key) {
+      EXPECT_GT(out[i].payload, out[i + 1].payload);
+    }
+}
+
+TEST(SequentialTwoPhase, GroupsAreInputOrder) {
+  std::vector<record> in = {{1, 0}, {2, 1}, {1, 2}, {1, 3}};
+  auto out = semisort_seq_two_phase(std::span<const record>(in));
+  ASSERT_TRUE(testing::valid_semisort(out, in));
+  for (size_t i = 0; i + 1 < out.size(); ++i)
+    if (out[i].key == out[i + 1].key) {
+      EXPECT_LT(out[i].payload, out[i + 1].payload);
+    }
+}
+
+TEST(SequentialBaselinesAgree, SameGroupMultisets) {
+  auto in = generate_records(30000, {distribution_kind::exponential, 50}, 21);
+  auto a = semisort_seq_chained(std::span<const record>(in));
+  auto b = semisort_seq_two_phase(std::span<const record>(in));
+  auto c = semisort_seq_stl(std::span<const record>(in));
+  auto d = semisort_seq_sort(std::span<const record>(in));
+  EXPECT_TRUE(testing::records_permutation(a, b));
+  EXPECT_TRUE(testing::records_permutation(b, c));
+  EXPECT_TRUE(testing::records_permutation(c, d));
+}
+
+}  // namespace
+}  // namespace parsemi

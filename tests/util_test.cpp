@@ -1,0 +1,146 @@
+// Tests for the utility layer: timers, argument parsing, table formatting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/env.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace parsemi {
+namespace {
+
+TEST(Timer, ElapsedIncreases) {
+  timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double e = t.elapsed();
+  EXPECT_GE(e, 0.009);
+  EXPECT_LT(e, 5.0);
+}
+
+TEST(Timer, LapResets) {
+  timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double first = t.lap();
+  double second = t.elapsed();
+  EXPECT_GE(first, 0.004);
+  EXPECT_LT(second, first);
+}
+
+TEST(PhaseTimer, RecordsNamedPhasesInOrder) {
+  phase_timer pt;
+  pt.start();
+  pt.record("a");
+  pt.record("b");
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0].first, "a");
+  EXPECT_EQ(pt.phases()[1].first, "b");
+  EXPECT_GE(pt.total(), 0.0);
+}
+
+TEST(PhaseTimer, RepeatedNamesAccumulate) {
+  phase_timer pt;
+  pt.start();
+  pt.record("x");
+  pt.record("x");
+  ASSERT_EQ(pt.phases().size(), 1u);
+}
+
+TEST(PhaseTimer, ClearEmpties) {
+  phase_timer pt;
+  pt.start();
+  pt.record("x");
+  pt.clear();
+  EXPECT_TRUE(pt.phases().empty());
+}
+
+TEST(ArgParser, FlagsWithValues) {
+  const char* argv[] = {"prog", "--n", "1000", "--dist=zipf", "--threads", "4"};
+  arg_parser args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), 1000);
+  EXPECT_EQ(args.get_string("dist", ""), "zipf");
+  EXPECT_EQ(args.get_int("threads", 0), 4);
+  EXPECT_EQ(args.get_int("missing", 77), 77);
+}
+
+TEST(ArgParser, BooleanSwitches) {
+  const char* argv[] = {"prog", "--csv", "--n", "5"};
+  arg_parser args(4, const_cast<char**>(argv));
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("json"));
+  EXPECT_EQ(args.get_int("n", 0), 5);
+}
+
+TEST(ArgParser, DoubleValues) {
+  const char* argv[] = {"prog", "--alpha=1.5"};
+  arg_parser args(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 2.5), 2.5);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--n", "5", "output.txt"};
+  arg_parser args(5, const_cast<char**>(argv));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  ascii_table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+  // Each line has the same length (alignment).
+  size_t first_nl = s.find('\n');
+  std::string first_line = s.substr(0, first_nl);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first_line.size());
+    pos = nl + 1;
+  }
+}
+
+TEST(AsciiTable, ShortRowsArePadded) {
+  ascii_table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(AsciiTable, CsvOutput) {
+  ascii_table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(0.456789, 3), "0.457");
+  EXPECT_EQ(fmt(2.0, 2), "2.00");
+}
+
+TEST(FmtCount, HumanReadable) {
+  EXPECT_EQ(fmt_count(10000000), "10M");
+  EXPECT_EQ(fmt_count(1000000000), "1B");
+  EXPECT_EQ(fmt_count(32000), "32K");
+  EXPECT_EQ(fmt_count(1234), "1234");
+  EXPECT_EQ(fmt_count(0), "0");
+}
+
+TEST(EnvInt, ParsesAndRejects) {
+  setenv("PARSEMI_TEST_ENV", "123", 1);
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::optional<int64_t>(123));
+  setenv("PARSEMI_TEST_ENV", "abc", 1);
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::nullopt);
+  unsetenv("PARSEMI_TEST_ENV");
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace parsemi

@@ -1,0 +1,95 @@
+// Tests for the reusable semisort workspace.
+#include "core/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/semisort.h"
+#include "test_helpers.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+TEST(Workspace, AcquireGrowsGeometrically) {
+  semisort_workspace ws;
+  EXPECT_EQ(ws.capacity_bytes(), 0u);
+  ws.acquire<uint64_t>(100);
+  size_t first = ws.capacity_bytes();
+  EXPECT_GE(first, 800u);
+  ws.acquire<uint64_t>(10);  // smaller: no growth
+  EXPECT_EQ(ws.capacity_bytes(), first);
+  ws.acquire<uint64_t>(101);  // slightly bigger: grows ≥ 1.5x
+  EXPECT_GE(ws.capacity_bytes(), first + first / 2);
+}
+
+TEST(Workspace, ShrinkReleases) {
+  semisort_workspace ws;
+  ws.acquire<uint32_t>(1000);
+  ws.shrink();
+  EXPECT_EQ(ws.capacity_bytes(), 0u);
+  // Usable again after shrink.
+  uint32_t* p = ws.acquire<uint32_t>(10);
+  p[9] = 7;
+  EXPECT_EQ(p[9], 7u);
+}
+
+TEST(Workspace, BufferIsWritableAcrossTypes) {
+  semisort_workspace ws;
+  uint64_t* a = ws.acquire<uint64_t>(64);
+  for (int i = 0; i < 64; ++i) a[i] = static_cast<uint64_t>(i);
+  record* r = ws.acquire<record>(32);  // reuses the same bytes
+  for (int i = 0; i < 32; ++i) r[i] = {static_cast<uint64_t>(i), 0};
+  EXPECT_EQ(r[31].key, 31u);
+}
+
+TEST(Workspace, RepeatedSemisortsAllValid) {
+  semisort_workspace ws;
+  semisort_params params;
+  params.workspace = &ws;
+  for (int round = 0; round < 5; ++round) {
+    auto spec = round % 2 == 0
+                    ? distribution_spec{distribution_kind::uniform, 1u << 28}
+                    : distribution_spec{distribution_kind::exponential, 100};
+    size_t n = 40000 + static_cast<size_t>(round) * 17001;
+    auto in = generate_records(n, spec, 50 + static_cast<uint64_t>(round));
+    std::vector<record> out(n);
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+    ASSERT_TRUE(testing::valid_semisort(out, in)) << "round " << round;
+  }
+  EXPECT_GT(ws.capacity_bytes(), 0u);
+}
+
+TEST(Workspace, SameResultWithAndWithoutWorkspace) {
+  auto in = generate_records(100000, {distribution_kind::zipfian, 5000}, 3);
+  semisort_workspace ws;
+  semisort_params with;
+  with.workspace = &ws;
+  auto a = semisort_hashed(std::span<const record>(in), record_key{}, with);
+  auto b = semisort_hashed(std::span<const record>(in), record_key{}, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Workspace, RetriesStillWorkWithWorkspace) {
+  semisort_workspace ws;
+  semisort_params params;
+  params.workspace = &ws;
+  params.alpha = 0.02;
+  params.round_to_pow2 = false;
+  params.max_retries = 12;
+  semisort_stats stats;
+  params.stats = &stats;
+  auto in = generate_records(80000, {distribution_kind::uniform, 1000}, 4);
+  std::vector<record> out(in.size());
+  semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                  record_key{}, params);
+  EXPECT_TRUE(testing::valid_semisort(out, in));
+  EXPECT_GE(stats.restarts, 1);
+}
+
+}  // namespace
+}  // namespace parsemi
