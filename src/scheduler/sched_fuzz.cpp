@@ -1,0 +1,52 @@
+#include "scheduler/sched_fuzz.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "scheduler/scheduler.h"
+#include "util/env.h"
+
+namespace parsemi::sched_fuzz {
+
+bool init_from_env() {
+  if constexpr (!kCompiledIn) return false;
+  static bool done = false;  // called from the pool constructor, single-threaded
+  if (done) return enabled();
+  done = true;
+  auto s = env_int("PARSEMI_SCHED_FUZZ_SEED");
+  if (!s || *s == 0) return false;
+  enable(static_cast<uint64_t>(*s));
+  if (auto t = env_int("PARSEMI_SCHED_FUZZ_TRACE"); t && *t != 0) {
+    std::atexit([] {
+      std::fprintf(stderr,
+                   "parsemi-sched-fuzz: seed=%llu digest=%016llx events=%llu\n",
+                   static_cast<unsigned long long>(seed()),
+                   static_cast<unsigned long long>(trace_digest()),
+                   static_cast<unsigned long long>(perturbation_count()));
+    });
+  }
+  return true;
+}
+
+void maybe_churn_workers(int max_workers) {
+  if constexpr (!kCompiledIn) return;
+  if (!enabled()) return;
+  uint64_t c = detail::g_churn_counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t key = splitmix64(
+      detail::g_seed.load(std::memory_order_relaxed) ^ detail::kChurnSalt ^
+      splitmix64(c ^ (static_cast<uint64_t>(site::churn) << 56)));
+  if ((key & 3) != 0) return;
+  int maxw = max_workers;
+  if (maxw <= 0) {
+    maxw = static_cast<int>(std::thread::hardware_concurrency());
+    if (maxw > 8) maxw = 8;
+  }
+  if (maxw < 1) maxw = 1;
+  int target = 1 + static_cast<int>((key >> 32) % static_cast<uint64_t>(maxw));
+  detail::g_digest.fetch_xor(splitmix64(key ^ detail::kChurnSalt),
+                             std::memory_order_relaxed);
+  detail::g_count.fetch_add(1, std::memory_order_relaxed);
+  set_num_workers(target);
+}
+
+}  // namespace parsemi::sched_fuzz

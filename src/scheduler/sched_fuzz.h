@@ -1,0 +1,358 @@
+// Deterministic schedule-perturbation hooks for concurrency fuzzing.
+//
+// The semisort's concurrent machinery — CAS + linear-probing scatter, the
+// phase-concurrent hash table, the Chase–Lev deques — is racy by design,
+// and its bugs only surface under adversarial interleavings that a quiet
+// `ctest` run never produces. This subsystem lets tests *drive* the
+// scheduler toward such interleavings, reproducibly:
+//
+//   * The scheduler calls hooks at fork, join, and task-start boundaries.
+//     When fuzzing is enabled, a hook may inject a yield, a busy spin, or a
+//     short sleep — opening forced-steal windows, delaying task starts, and
+//     generally shaking the schedule.
+//   * Every decision is a pure function of (seed, task identity, site).
+//     Task identity is a 64-bit *path* in the fork tree: the root fork of a
+//     top-level parallel region draws a fresh region id (a deterministic
+//     counter), and each fork hashes its parent's path into left/right
+//     child paths. A task's path therefore never depends on which worker
+//     happens to run it, so the same seed fires the same perturbations at
+//     the same tasks in every run — the trace is bit-reproducible.
+//   * Fired task-keyed perturbations fold into a global XOR digest
+//     (`trace_digest()`). XOR is commutative, so the digest is independent
+//     of the order in which workers fire — replaying a seed yields an
+//     identical digest, which is what the reproducibility tests assert.
+//   * A second class of hooks ("lane" hooks, in the deque's pop/steal and
+//     the idle loop) is keyed by a per-thread counter stream. Their call
+//     counts depend on the actual interleaving, so they add deterministic-
+//     per-lane *noise* but are excluded from the digest.
+//   * `maybe_churn_workers()` (top level only) resizes the pool to a
+//     seed-derived worker count — schedule churn across parallel regions.
+//
+// Cost model: compiled out entirely (true zero cost) unless the build
+// defines PARSEMI_SCHED_FUZZ (CMake option, default ON). When compiled in
+// but not enabled — the normal case — every hook is one relaxed/acquire
+// bool load. Enable with `PARSEMI_SCHED_FUZZ_SEED=<decimal u64>` in the
+// environment (any parsemi binary; reads once at pool start) or with
+// `sched_fuzz::enable(seed)` / `sched_fuzz::scoped_enable` from tests.
+// Enable/disable must be called outside parallel regions.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace parsemi::sched_fuzz {
+
+#if defined(PARSEMI_SCHED_FUZZ)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+// Hook sites. fork_push/join_enter/task_start are task-keyed (digest-
+// folded); deque_pop/deque_steal/worker_idle are lane-keyed (noise only).
+enum class site : uint8_t {
+  fork_push = 1,   // right child published — forced-steal window
+  join_enter = 2,  // forker about to help-steal until the join resolves
+  task_start = 3,  // a popped/stolen job about to run — delayed start
+  deque_pop = 4,
+  deque_steal = 5,
+  worker_idle = 6,
+  churn = 7,
+};
+
+namespace detail {
+
+inline constexpr int kMaxLanes = 512;
+inline constexpr uint64_t kLeftSalt = 0x6c6566745f73616cULL;
+inline constexpr uint64_t kRightSalt = 0x726967687473616cULL;
+inline constexpr uint64_t kRegionSalt = 0x726567696f6e5f73ULL;
+inline constexpr uint64_t kChurnSalt = 0x636875726e5f7361ULL;
+
+struct alignas(64) lane_state {
+  // Atomic (relaxed) because enable() resets the streams while workers may
+  // still be bumping their own lane from the idle loop; each lane is only
+  // ever incremented by its own thread, so there is no contention.
+  std::atomic<uint64_t> counter{0};
+};
+
+inline std::atomic<bool> g_enabled{false};
+inline std::atomic<uint64_t> g_seed{0};
+inline std::atomic<uint64_t> g_digest{0};
+inline std::atomic<uint64_t> g_count{0};
+inline std::atomic<uint64_t> g_region_counter{0};
+inline std::atomic<uint64_t> g_churn_counter{0};
+inline lane_state g_lanes[kMaxLanes];
+
+// Lane of the current thread (-1: unregistered, never perturbed) and the
+// fork-tree path of the task it is currently executing (0: none).
+inline thread_local int tl_lane = -1;
+inline thread_local uint64_t tl_path = 0;
+
+inline void spin(uint64_t iters) {
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < iters; ++i) sink = sink + 1;
+}
+
+// Decodes an action from decision bits. Sleeps displace a task by whole
+// scheduling quanta; they are reserved for task-keyed sites so the hot
+// pop/steal loops only ever yield or spin.
+inline void apply_action(uint64_t r, bool allow_sleep) {
+  switch ((r >> 8) & 3) {
+    case 0:
+    case 1:
+      std::this_thread::yield();
+      break;
+    case 2:
+      spin(64 + ((r >> 16) & 0x3FFF));
+      break;
+    default:
+      if (allow_sleep) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(1 + ((r >> 16) & 127)));
+      } else {
+        std::this_thread::yield();
+      }
+      break;
+  }
+}
+
+}  // namespace detail
+
+inline bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
+
+inline uint64_t seed() {
+  return detail::g_seed.load(std::memory_order_relaxed);
+}
+
+// Order-independent fold of every fired task-keyed perturbation; equal
+// across replays of the same (seed, workload, worker count).
+inline uint64_t trace_digest() {
+  return detail::g_digest.load(std::memory_order_relaxed);
+}
+
+// Total perturbations fired (task- and lane-keyed; the lane share is
+// interleaving-dependent, so this is diagnostic, not a replay invariant).
+inline uint64_t perturbation_count() {
+  return detail::g_count.load(std::memory_order_relaxed);
+}
+
+// Starts (or restarts) fuzzing with `s`, resetting the trace, the region
+// counter, and every lane stream. Call only while no parallel region is
+// active.
+inline void enable(uint64_t s) {
+  if constexpr (!kCompiledIn) return;
+  detail::g_enabled.store(false, std::memory_order_release);
+  detail::g_seed.store(s, std::memory_order_relaxed);
+  detail::g_digest.store(0, std::memory_order_relaxed);
+  detail::g_count.store(0, std::memory_order_relaxed);
+  detail::g_region_counter.store(0, std::memory_order_relaxed);
+  detail::g_churn_counter.store(0, std::memory_order_relaxed);
+  for (auto& l : detail::g_lanes) l.counter.store(0, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+inline void disable() {
+  if constexpr (!kCompiledIn) return;
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+// Associates the calling thread with a lane for the lane-keyed hooks. The
+// scheduler registers its workers by worker id; test-spawned threads may
+// register any id < kMaxLanes (use lane_guard).
+inline void register_lane(int lane) {
+  if constexpr (!kCompiledIn) return;
+  detail::tl_lane = lane;
+}
+
+// Task-keyed perturbation: fires (p = 1/8) as a pure function of
+// (seed, path, site) and folds the decision into the digest.
+inline void task_point(site s, uint64_t path) {
+  if constexpr (!kCompiledIn) return;
+  if (path == 0 || !enabled()) return;
+  uint64_t key =
+      splitmix64(detail::g_seed.load(std::memory_order_relaxed) ^
+                 splitmix64(path ^ (static_cast<uint64_t>(s) << 56)));
+  if ((key & 7) != 0) return;
+  detail::g_digest.fetch_xor(splitmix64(key), std::memory_order_relaxed);
+  detail::g_count.fetch_add(1, std::memory_order_relaxed);
+  detail::apply_action(key, /*allow_sleep=*/true);
+}
+
+// Lane-keyed perturbation: deterministic per (seed, lane, call index), but
+// the number of calls depends on the interleaving — noise, not trace.
+inline void lane_point(site s) {
+  if constexpr (!kCompiledIn) return;
+  if (!enabled()) return;
+  int lane = detail::tl_lane;
+  if (lane < 0 || lane >= detail::kMaxLanes) return;
+  uint64_t c =
+      detail::g_lanes[lane].counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t key =
+      splitmix64(detail::g_seed.load(std::memory_order_relaxed) ^
+                 (static_cast<uint64_t>(lane) << 40) ^
+                 (static_cast<uint64_t>(s) << 56) ^ splitmix64(c));
+  if ((key & 15) != 0) return;
+  detail::g_count.fetch_add(1, std::memory_order_relaxed);
+  detail::apply_action(key, /*allow_sleep=*/false);
+}
+
+// Path bookkeeping for one fork_join. The forker constructs this before
+// pushing the right child; child paths are hashes of the parent path, so
+// they depend only on the fork's position in the tree.
+class fork_scope {
+ public:
+  fork_scope() {
+    if constexpr (!kCompiledIn) return;
+    if (!enabled()) return;
+    active_ = true;
+    parent_ = detail::tl_path;
+    if (parent_ == 0) {
+      root_ = true;
+      parent_ = splitmix64(
+          detail::kRegionSalt ^
+          (detail::g_region_counter.fetch_add(1, std::memory_order_relaxed) *
+               0x9e3779b97f4a7c15ULL +
+           1));
+      if (parent_ == 0) parent_ = 1;
+    }
+    left_ = splitmix64(parent_ ^ detail::kLeftSalt);
+    right_ = splitmix64(parent_ ^ detail::kRightSalt);
+    if (left_ == 0) left_ = 1;
+    if (right_ == 0) right_ = 1;
+  }
+
+  ~fork_scope() {
+    if constexpr (!kCompiledIn) return;
+    if (active_) detail::tl_path = root_ ? 0 : parent_;
+  }
+
+  fork_scope(const fork_scope&) = delete;
+  fork_scope& operator=(const fork_scope&) = delete;
+
+  uint64_t right_path() const {
+    if constexpr (!kCompiledIn) return 0;
+    return active_ ? right_ : 0;
+  }
+
+  // Right child is now stealable: maybe linger (forced-steal window), then
+  // continue as the left child.
+  void after_push() {
+    if constexpr (!kCompiledIn) return;
+    if (!active_) return;
+    task_point(site::fork_push, right_);
+    detail::tl_path = left_;
+  }
+
+  // Left side done; about to help-steal until the right child joins.
+  void enter_join() {
+    if constexpr (!kCompiledIn) return;
+    if (!active_) return;
+    detail::tl_path = parent_;
+    task_point(site::join_enter, parent_);
+  }
+
+ private:
+  bool active_ = false;
+  bool root_ = false;
+  uint64_t parent_ = 0;
+  uint64_t left_ = 0;
+  uint64_t right_ = 0;
+};
+
+// Wrapped around a job's run(): adopts the job's path on this thread (so
+// nested forks inside the job derive deterministic child paths) and maybe
+// delays the start.
+class task_scope {
+ public:
+  explicit task_scope(uint64_t path) {
+    if constexpr (!kCompiledIn) return;
+    if (path == 0 || !enabled()) return;
+    active_ = true;
+    saved_ = detail::tl_path;
+    detail::tl_path = path;
+    task_point(site::task_start, path);
+  }
+
+  ~task_scope() {
+    if constexpr (!kCompiledIn) return;
+    if (active_) detail::tl_path = saved_;
+  }
+
+  task_scope(const task_scope&) = delete;
+  task_scope& operator=(const task_scope&) = delete;
+
+ private:
+  bool active_ = false;
+  uint64_t saved_ = 0;
+};
+
+// RAII lane registration for test-spawned threads.
+class lane_guard {
+ public:
+  explicit lane_guard(int lane) {
+    if constexpr (!kCompiledIn) return;
+    prev_ = detail::tl_lane;
+    detail::tl_lane = lane;
+  }
+  ~lane_guard() {
+    if constexpr (!kCompiledIn) return;
+    detail::tl_lane = prev_;
+  }
+  lane_guard(const lane_guard&) = delete;
+  lane_guard& operator=(const lane_guard&) = delete;
+
+ private:
+  int prev_ = -1;
+};
+
+// RAII enable/restore for property tests. Seed 0 means "leave untouched"
+// (the sequential / fuzz-off baseline), so configs can shrink the sched
+// seed to 0 to prove a failure is schedule-independent.
+class scoped_enable {
+ public:
+  explicit scoped_enable(uint64_t s) {
+    if constexpr (!kCompiledIn) return;
+    if (s == 0) return;
+    active_ = true;
+    prev_enabled_ = enabled();
+    prev_seed_ = seed();
+    enable(s);
+  }
+  ~scoped_enable() {
+    if constexpr (!kCompiledIn) return;
+    if (!active_) return;
+    if (prev_enabled_) {
+      enable(prev_seed_);
+    } else {
+      disable();
+    }
+  }
+  scoped_enable(const scoped_enable&) = delete;
+  scoped_enable& operator=(const scoped_enable&) = delete;
+
+ private:
+  bool active_ = false;
+  bool prev_enabled_ = false;
+  uint64_t prev_seed_ = 0;
+};
+
+// Reads PARSEMI_SCHED_FUZZ_SEED (decimal uint64; 0/unset = off) and enables
+// fuzzing for the whole process. With PARSEMI_SCHED_FUZZ_TRACE=1 also
+// prints "seed= digest= events=" to stderr at exit, so two runs of the
+// same binary and seed can be diffed. Called once from the scheduler pool
+// constructor; returns whether fuzzing was enabled.
+bool init_from_env();
+
+// Top-level-only worker-count churn: a seed-deterministic fraction of calls
+// resizes the pool to a seed-derived count in [1, max_workers] (default:
+// min(hardware, 8)). Call between parallel regions, never inside one.
+void maybe_churn_workers(int max_workers = 0);
+
+}  // namespace parsemi::sched_fuzz

@@ -21,11 +21,13 @@ int scheduler::worker_id() { return tl_worker_id; }
 
 scheduler::scheduler() {
   tl_worker_id = 0;
+  sched_fuzz::register_lane(0);
   int p = static_cast<int>(std::thread::hardware_concurrency());
   if (auto env = env_int("PARSEMI_NUM_THREADS"); env && *env > 0) {
     p = static_cast<int>(*env);
   }
   start_workers(p < 1 ? 1 : p);
+  sched_fuzz::init_from_env();
 }
 
 scheduler::~scheduler() { stop_workers(); }
@@ -74,6 +76,7 @@ internal::job* scheduler::try_steal(int thief_id) {
 
 void scheduler::worker_loop(int id) {
   tl_worker_id = id;
+  sched_fuzz::register_lane(id);
   int failures = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     internal::job* j = deques_[id].pop();
@@ -84,6 +87,7 @@ void scheduler::worker_loop(int id) {
       continue;
     }
     if (++failures < 64) {
+      sched_fuzz::lane_point(sched_fuzz::site::worker_idle);
       std::this_thread::yield();
       continue;
     }

@@ -35,6 +35,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "scheduler/sched_fuzz.h"
 #include "scheduler/work_stealing_deque.h"
 #include "util/rng.h"
 
@@ -52,6 +53,10 @@ struct job {
   virtual ~job() = default;
 
   void execute() {
+    // Adopt the job's fork-tree path (and maybe delay the start) so that
+    // schedule fuzzing stays keyed to task identity, not to the thread
+    // that happened to pop or steal the job.
+    sched_fuzz::task_scope fuzz(fuzz_path);
     try {
       run();
     } catch (...) {
@@ -63,6 +68,7 @@ struct job {
 
   std::atomic<bool> done{false};
   std::exception_ptr error;  // written before `done` is released
+  uint64_t fuzz_path = 0;    // fork-tree identity under PARSEMI_SCHED_FUZZ
 };
 
 template <typename F>
@@ -102,9 +108,12 @@ class scheduler {
       right();
       return;
     }
+    sched_fuzz::fork_scope fuzz;
     internal::lambda_job<R> right_job(std::forward<R>(right));
+    right_job.fuzz_path = fuzz.right_path();
     deques_[id].push(&right_job);
     wake_sleepers();
+    fuzz.after_push();
     // `right_job` lives on this stack frame, so even if `left` throws we
     // must not unwind until the job can no longer be touched by a thief.
     std::exception_ptr left_error;
@@ -113,6 +122,7 @@ class scheduler {
     } catch (...) {
       left_error = std::current_exception();
     }
+    fuzz.enter_join();
     // Join: execute local/stolen work until right_job is done. If it is
     // still in our deque we will pop it ourselves (LIFO ⇒ it is next once
     // everything pushed after it has drained).

@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "scheduler/sched_fuzz.h"
+
 namespace parsemi::internal {
 
 // ThreadSanitizer does not model standalone atomic_thread_fence, so the
@@ -76,6 +78,7 @@ class work_stealing_deque {
   // Owner only. Returns the most recently pushed job, or nullptr if the
   // deque is empty (possibly because thieves emptied it).
   Job* pop() {
+    sched_fuzz::lane_point(sched_fuzz::site::deque_pop);
     int64_t b = bottom_.load(deque_order(std::memory_order_relaxed)) - 1;
     bottom_.store(b, deque_order(std::memory_order_relaxed));
     deque_fence(std::memory_order_seq_cst);
@@ -101,6 +104,7 @@ class work_stealing_deque {
   // Any thread. Returns the oldest job, or nullptr when empty or when the
   // CAS race was lost (callers just move on to another victim).
   Job* steal() {
+    sched_fuzz::lane_point(sched_fuzz::site::deque_steal);
     int64_t t = top_.load(deque_order(std::memory_order_acquire));
     deque_fence(std::memory_order_seq_cst);
     int64_t b = bottom_.load(deque_order(std::memory_order_acquire));

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "scheduler/sched_fuzz.h"
+
 namespace parsemi::internal {
 namespace {
 
@@ -132,6 +134,74 @@ TEST(DequeStress, OwnerAndThievesAccountForEveryJob) {
   EXPECT_EQ(total_taken.load(), kJobs);
   for (int i = 0; i < kJobs; ++i)
     ASSERT_EQ(taken[i].load(), 1) << "job " << i;
+}
+
+TEST(DequeStress, PerturbedInterleavingsAccountForEveryJob) {
+  // Same exactly-once accounting as above, but with the schedule-fuzzing
+  // lane hooks live inside pop()/steal(): each participant registers a lane
+  // so seed-derived yields/spins skew the pop-vs-steal race toward the
+  // single-element corner cases. Repeated over several seeds.
+  if constexpr (!sched_fuzz::kCompiledIn) {
+    GTEST_SKIP() << "built with PARSEMI_SCHED_FUZZ=OFF";
+  }
+  constexpr int kJobs = 60000;
+  constexpr int kThieves = 3;
+  for (uint64_t seed : {11ull, 22ull, 33ull}) {
+    sched_fuzz::scoped_enable fuzz(seed);
+    work_stealing_deque<fake_job> d;
+    std::vector<fake_job> jobs(kJobs);
+    for (int i = 0; i < kJobs; ++i) jobs[i].id = i;
+
+    std::vector<std::atomic<uint8_t>> taken(kJobs);
+    for (auto& t : taken) t.store(0, std::memory_order_relaxed);
+    std::atomic<bool> done{false};
+    std::atomic<int> total_taken{0};
+
+    auto take = [&](fake_job* j) {
+      ASSERT_NE(j, nullptr);
+      uint8_t prev = taken[j->id].fetch_add(1, std::memory_order_relaxed);
+      ASSERT_EQ(prev, 0) << "seed " << seed << ": job " << j->id
+                         << " taken twice";
+      total_taken.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < kThieves; ++t) {
+      thieves.emplace_back([&, t] {
+        sched_fuzz::lane_guard lane(100 + t);
+        while (!done.load(std::memory_order_acquire)) {
+          fake_job* j = d.steal();
+          if (j != nullptr) take(j);
+        }
+        for (fake_job* j = d.steal(); j != nullptr; j = d.steal()) take(j);
+      });
+    }
+
+    {
+      sched_fuzz::lane_guard lane(99);
+      // Push one job at a time and immediately race the pop against the
+      // thieves: the perturbed single-element case is where Chase–Lev
+      // orderings earn their keep.
+      for (int i = 0; i < kJobs; ++i) {
+        d.push(&jobs[i]);
+        if (i % 2 == 1) {
+          fake_job* j = d.pop();
+          if (j != nullptr) take(j);
+        }
+        while (d.size_approx() > static_cast<int64_t>(kDequeCapacity / 2)) {
+          fake_job* j = d.pop();
+          if (j != nullptr) take(j);
+        }
+      }
+      for (fake_job* j = d.pop(); j != nullptr; j = d.pop()) take(j);
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : thieves) t.join();
+
+    EXPECT_EQ(total_taken.load(), kJobs) << "seed " << seed;
+    for (int i = 0; i < kJobs; ++i)
+      ASSERT_EQ(taken[i].load(), 1) << "seed " << seed << ": job " << i;
+  }
 }
 
 }  // namespace

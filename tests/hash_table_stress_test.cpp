@@ -1,0 +1,160 @@
+// Interleaving stress for the phase-concurrent hash table: many workers
+// race duplicate inserts under a perturbed schedule, then a find phase (the
+// parallel_for join is the phase barrier) checks that exactly one insert per
+// distinct key won, every key is findable with a value its writers agreed
+// on, and size()/for_each agree. Exercises the reserved kEmpty sentinel key
+// through its side slot as well.
+#include "hashing/phase_concurrent_hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "proptest.h"
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace parsemi {
+namespace {
+
+// All writers of a key carry the same value (the table's contract).
+uint64_t value_of(uint64_t key) { return splitmix64(key ^ 0x5eedULL); }
+
+struct table_config {
+  size_t n = 0;          // number of racing insert operations
+  uint64_t distinct = 1; // distinct keys among them (heavy duplication)
+  bool include_sentinel = false;
+  uint64_t data_seed = 0;
+  uint64_t sched_seed = 0;
+  int workers = 0;
+};
+
+std::string describe(const table_config& c) {
+  std::ostringstream os;
+  os << "n=" << c.n << " distinct=" << c.distinct
+     << " sentinel=" << c.include_sentinel << " data_seed=" << c.data_seed
+     << " sched_seed=" << c.sched_seed << " workers=" << c.workers;
+  return os.str();
+}
+
+table_config generate(rng& r) {
+  table_config c;
+  c.n = 2000 + proptest::log_uniform_u64(r, 1, 80000);
+  c.distinct = 1 + proptest::log_uniform_u64(r, 1, c.n);
+  c.include_sentinel = proptest::chance(r, 0.5);
+  c.data_seed = r.next();
+  c.sched_seed = sched_fuzz::kCompiledIn ? (r.next() | 1) : 0;
+  c.workers = proptest::pick(r, {0, 2, 3, 4});
+  return c;
+}
+
+std::vector<table_config> shrink(const table_config& c) {
+  std::vector<table_config> out;
+  if (c.sched_seed != 0) {
+    table_config d = c;
+    d.sched_seed = 0;
+    out.push_back(d);
+  }
+  if (c.workers != 1) {
+    table_config d = c;
+    d.workers = 1;
+    out.push_back(d);
+  }
+  for (uint64_t nn : proptest::shrink_toward(c.n, 2000)) {
+    table_config d = c;
+    d.n = nn;
+    d.distinct = std::min<uint64_t>(d.distinct, d.n);
+    out.push_back(d);
+  }
+  for (uint64_t dd : proptest::shrink_toward(c.distinct, 1)) {
+    table_config d = c;
+    d.distinct = dd == 0 ? 1 : dd;
+    out.push_back(d);
+  }
+  if (c.include_sentinel) {
+    table_config d = c;
+    d.include_sentinel = false;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::optional<std::string> table_invariants_hold(const table_config& c) {
+  using table = phase_concurrent_hash_table<uint64_t>;
+  proptest::scoped_workers w(c.workers);
+  sched_fuzz::scoped_enable fuzz(c.sched_seed);
+
+  // Key universe: `distinct` hashed keys (all writers of a key agree on the
+  // value, as the semisort's heavy-key table guarantees). Optionally one of
+  // them is rewritten to the reserved sentinel to drive the side slot.
+  std::vector<uint64_t> universe(c.distinct);
+  for (size_t i = 0; i < universe.size(); ++i) {
+    universe[i] = hash64(c.data_seed + i);
+    if (universe[i] == table::kEmpty) universe[i] = 1;  // keep slot 0 free...
+  }
+  if (c.include_sentinel) universe[0] = table::kEmpty;  // ...for this
+
+  std::vector<uint64_t> ops(c.n);
+  {
+    rng r(c.data_seed ^ 0xabcdefULL);
+    for (auto& k : ops) k = universe[r.next_below(universe.size())];
+  }
+
+  table t(c.distinct + 1);
+  std::atomic<uint64_t> wins{0};
+  // Insert phase: duplicates race; exactly one insert per key may return
+  // true no matter how the schedule interleaves the CAS attempts.
+  parallel_for(0, ops.size(), [&](size_t i) {
+    if (t.insert(ops[i], value_of(ops[i]))) {
+      wins.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::unordered_set<uint64_t> present(ops.begin(), ops.end());
+  if (wins.load() != present.size()) {
+    return "winning insert count != distinct keys inserted";
+  }
+  if (t.size() != present.size()) return "size() != distinct keys inserted";
+
+  // Find phase (the parallel_for join above is the phase barrier).
+  std::atomic<uint64_t> bad{0};
+  parallel_for(0, ops.size(), [&](size_t i) {
+    auto v = t.find(ops[i]);
+    if (!v || *v != value_of(ops[i])) bad.fetch_add(1);
+  });
+  if (bad.load() != 0) return "a key was missing or had the wrong value";
+
+  // A key never inserted must not be found.
+  if (t.find(0xfeedfacecafef00dULL ^ c.data_seed) &&
+      !present.count(0xfeedfacecafef00dULL ^ c.data_seed)) {
+    return "found a key that was never inserted";
+  }
+
+  size_t enumerated = 0;
+  bool enum_ok = true;
+  t.for_each([&](uint64_t k, uint64_t v) {
+    ++enumerated;
+    if (!present.count(k) || v != value_of(k)) enum_ok = false;
+  });
+  if (!enum_ok) return "for_each produced an unknown key or wrong value";
+  if (enumerated != present.size()) {
+    return "for_each enumerated a different number of keys than size()";
+  }
+  return std::nullopt;
+}
+
+TEST(HashTableStress, RacingDuplicateInsertsUnderPerturbedSchedules) {
+  proptest::options opt;
+  opt.trials = 25;
+  opt.seed = 271828182;
+  proptest::check<table_config>(generate, table_invariants_hold, shrink,
+                                describe, opt);
+}
+
+}  // namespace
+}  // namespace parsemi

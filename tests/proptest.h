@@ -1,0 +1,240 @@
+// Minimal property-based testing on top of gtest, built for the parsemi
+// concurrency-fuzzing suite.
+//
+// A property test is four pieces:
+//   * generate(rng&) -> Config     random configuration for one trial
+//   * property(const Config&)      std::nullopt on pass, message on failure
+//   * shrink(const Config&)        candidate *simpler* configs to try
+//   * describe(const Config&)      one-line human rendering of a config
+//
+// `check<Config>` runs N trials (each from a seed derived deterministically
+// from the base seed and trial index). On the first failure it *shrinks*
+// greedily: it walks the candidate list, moves to the first candidate that
+// still fails, and repeats until no candidate fails — minimizing the
+// (distribution, size, params, sched-seed) tuple — then reports the
+// original config, the shrunk config, and a one-line repro command.
+//
+// Replaying: generation is a pure function of the trial seed, so
+//   PARSEMI_PROPTEST_SEED=<seed> ./<binary> --gtest_filter=<Suite.Test>
+// re-runs exactly the failing trial (the line printed on failure). Other
+// environment knobs:
+//   PARSEMI_PROPTEST_TRIALS=<n>  overrides the trial count (CI stress jobs
+//                                raise it; the default keeps tier-1 fast).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_name
+#endif
+
+#include "scheduler/sched_fuzz.h"
+#include "scheduler/scheduler.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace parsemi::proptest {
+
+// Sanitized builds run 5-20x slower; default trial counts scale down so the
+// tier1 suite stays inside its timeout. PARSEMI_PROPTEST_TRIALS still
+// overrides (CI's stress-smoke job sets it explicitly).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+inline constexpr bool kSanitizedBuild = true;
+#else
+inline constexpr bool kSanitizedBuild = false;
+#endif
+#else
+inline constexpr bool kSanitizedBuild = false;
+#endif
+
+// ---------------------------------------------------------------- generators
+
+// Uniform integer in [lo, hi] (inclusive).
+inline uint64_t uniform_u64(rng& r, uint64_t lo, uint64_t hi) {
+  return lo + r.next_below(hi - lo + 1);
+}
+
+// Uniform over the *magnitude* of the value: picks a bit-width uniformly,
+// then a value of that width. The right distribution for sizes — n = 10^3
+// and n = 10^5 are equally likely, unlike uniform_u64.
+inline uint64_t log_uniform_u64(rng& r, uint64_t lo, uint64_t hi) {
+  if (lo >= hi) return lo;
+  if (lo == 0) lo = 1;
+  int lo_bits = std::bit_width(lo);
+  int hi_bits = std::bit_width(hi);
+  int e = lo_bits + static_cast<int>(
+                        r.next_below(static_cast<uint64_t>(hi_bits - lo_bits) + 1));
+  uint64_t bucket_lo = e <= 1 ? 1 : (uint64_t{1} << (e - 1));
+  uint64_t bucket_hi = e >= 64 ? hi : (uint64_t{1} << e) - 1;
+  bucket_lo = std::max(bucket_lo, lo);
+  bucket_hi = std::max(std::min(bucket_hi, hi), bucket_lo);
+  return bucket_lo + r.next_below(bucket_hi - bucket_lo + 1);
+}
+
+inline bool chance(rng& r, double p) { return r.next_double() < p; }
+
+inline double uniform_real(rng& r, double lo, double hi) {
+  return lo + r.next_double() * (hi - lo);
+}
+
+template <typename T>
+T pick(rng& r, std::initializer_list<T> options) {
+  auto it = options.begin();
+  std::advance(it, static_cast<ptrdiff_t>(
+                       r.next_below(static_cast<uint64_t>(options.size()))));
+  return *it;
+}
+
+// ------------------------------------------------------------------- shrink
+
+// Greedy shrink candidates for a scalar: `target` first (the biggest
+// simplification), then bisection points between target and v. At most 8
+// candidates; never contains v itself.
+inline std::vector<uint64_t> shrink_toward(uint64_t v, uint64_t target) {
+  std::vector<uint64_t> out;
+  if (v == target) return out;
+  out.push_back(target);
+  uint64_t delta = v > target ? v - target : target - v;
+  for (uint64_t step = delta / 2; step > 0 && out.size() < 8; step /= 2) {
+    uint64_t cand = v > target ? v - step : v + step;
+    if (cand != v && cand != target &&
+        std::find(out.begin(), out.end(), cand) == out.end()) {
+      out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- RAII guards
+
+// Restores the worker count on scope exit (property configs vary it).
+class scoped_workers {
+ public:
+  explicit scoped_workers(int p) : saved_(num_workers()) {
+    if (p > 0 && p != saved_) set_num_workers(p);
+  }
+  ~scoped_workers() {
+    if (num_workers() != saved_) set_num_workers(saved_);
+  }
+  scoped_workers(const scoped_workers&) = delete;
+  scoped_workers& operator=(const scoped_workers&) = delete;
+
+ private:
+  int saved_;
+};
+
+// ------------------------------------------------------------------- runner
+
+struct failure {
+  int trial = 0;
+  uint64_t trial_seed = 0;
+  std::string original_config;
+  std::string shrunk_config;
+  std::string message;
+  std::string repro;
+  int shrink_steps = 0;
+};
+
+struct options {
+  int trials = 20;
+  uint64_t seed = 0x9A7B3C5D17E2F4B1ULL;
+  int max_shrink_rounds = 40;
+  // Test hook: when set, failures are delivered here instead of through
+  // ADD_FAILURE (used by the framework's own self-tests).
+  std::function<void(const failure&)> on_failure;
+};
+
+inline std::string repro_line(uint64_t trial_seed) {
+  std::ostringstream os;
+  os << "PARSEMI_PROPTEST_SEED=" << trial_seed << " ";
+#if defined(__GLIBC__)
+  os << program_invocation_name;
+#else
+  os << "<test-binary>";
+#endif
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    os << " --gtest_filter=" << info->test_suite_name() << "." << info->name();
+  }
+  return os.str();
+}
+
+template <typename Config, typename GenFn, typename PropFn, typename ShrinkFn,
+          typename ShowFn>
+void check(GenFn&& generate, PropFn&& property, ShrinkFn&& shrink_candidates,
+           ShowFn&& describe, options opt = {}) {
+  if constexpr (kSanitizedBuild) {
+    opt.trials = std::max(3, opt.trials / 5);
+  }
+  if (auto t = env_int("PARSEMI_PROPTEST_TRIALS"); t && *t > 0) {
+    opt.trials = static_cast<int>(*t);
+  }
+  std::optional<uint64_t> replay;
+  if (auto s = env_int("PARSEMI_PROPTEST_SEED")) {
+    replay = static_cast<uint64_t>(*s);
+  }
+  int trials = replay ? 1 : opt.trials;
+  for (int trial = 0; trial < trials; ++trial) {
+    uint64_t trial_seed =
+        replay ? *replay
+               : splitmix64(opt.seed ^
+                            (0x9e3779b97f4a7c15ULL * (uint64_t(trial) + 1)));
+    rng r(trial_seed);
+    Config cfg = generate(r);
+    std::optional<std::string> failed = property(cfg);
+    if (!failed) continue;
+
+    Config best = cfg;
+    std::string msg = *failed;
+    int steps = 0;
+    for (int round = 0; round < opt.max_shrink_rounds; ++round) {
+      bool progressed = false;
+      std::vector<Config> cands = shrink_candidates(best);
+      for (Config& cand : cands) {
+        if (auto f2 = property(cand)) {
+          best = std::move(cand);
+          msg = *f2;
+          ++steps;
+          progressed = true;
+          break;
+        }
+      }
+      if (!progressed) break;
+    }
+
+    failure f;
+    f.trial = trial;
+    f.trial_seed = trial_seed;
+    f.original_config = describe(cfg);
+    f.shrunk_config = describe(best);
+    f.message = msg;
+    f.repro = repro_line(trial_seed);
+    f.shrink_steps = steps;
+    if (opt.on_failure) {
+      opt.on_failure(f);
+      return;
+    }
+    ADD_FAILURE() << "property failed (trial " << trial << ", trial seed "
+                  << trial_seed << ")\n"
+                  << "  original: " << f.original_config << "\n"
+                  << "  shrunk (" << steps << " steps): " << f.shrunk_config
+                  << "\n"
+                  << "  failure:  " << msg << "\n"
+                  << "  repro:    " << f.repro;
+    return;  // first failing trial is enough; the repro replays it
+  }
+}
+
+}  // namespace parsemi::proptest

@@ -1,0 +1,177 @@
+// Self-tests for the property-based testing framework: generator bounds and
+// determinism, shrink-candidate structure, greedy shrinking convergence,
+// and the env-variable replay knobs.
+#include "proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace parsemi {
+namespace {
+
+TEST(PropGen, UniformRespectsBoundsAndIsDeterministic) {
+  rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = proptest::uniform_u64(a, 10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+    EXPECT_EQ(x, proptest::uniform_u64(b, 10, 20));
+  }
+}
+
+TEST(PropGen, LogUniformRespectsBoundsAndHitsSmallMagnitudes) {
+  rng r(7);
+  size_t below_4k = 0;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t x = proptest::log_uniform_u64(r, 100, 1 << 20);
+    ASSERT_GE(x, 100u);
+    ASSERT_LE(x, uint64_t{1} << 20);
+    if (x < 4096) ++below_4k;
+  }
+  // A uniform draw would land below 4096 ~0.4% of the time; log-uniform
+  // must hit small magnitudes a large fraction of the time.
+  EXPECT_GT(below_4k, 200u);
+}
+
+TEST(PropGen, LogUniformDegenerateRange) {
+  rng r(1);
+  EXPECT_EQ(proptest::log_uniform_u64(r, 5, 5), 5u);
+  EXPECT_EQ(proptest::log_uniform_u64(r, 9, 3), 9u);  // lo >= hi → lo
+}
+
+TEST(PropGen, PickAndChance) {
+  rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    int v = proptest::pick(r, {2, 5, 9});
+    EXPECT_TRUE(v == 2 || v == 5 || v == 9);
+  }
+  int heads = 0;
+  for (int i = 0; i < 1000; ++i) heads += proptest::chance(r, 0.5) ? 1 : 0;
+  EXPECT_GT(heads, 350);
+  EXPECT_LT(heads, 650);
+}
+
+TEST(PropShrink, CandidatesApproachTargetAndExcludeSelf) {
+  auto cands = proptest::shrink_toward(800, 0);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), 0u);  // boldest simplification first
+  std::set<uint64_t> seen;
+  for (uint64_t c : cands) {
+    EXPECT_NE(c, 800u);
+    EXPECT_LT(c, 800u);
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate candidate " << c;
+  }
+  EXPECT_TRUE(proptest::shrink_toward(5, 5).empty());
+  // Works upward too (e.g. shrinking alpha toward a safer larger value).
+  for (uint64_t c : proptest::shrink_toward(3, 64)) {
+    EXPECT_GT(c, 3u);
+    EXPECT_LE(c, 64u);
+  }
+}
+
+struct toy_config {
+  uint64_t n = 0;
+};
+
+TEST(PropRunner, GreedyShrinkConvergesToMinimalFailure) {
+  // Property fails iff n >= 57; shrinking toward 0 must terminate exactly
+  // at the failure boundary.
+  proptest::options opt;
+  opt.trials = 20;
+  opt.seed = 1234;
+  std::vector<proptest::failure> captured;
+  opt.on_failure = [&](const proptest::failure& f) { captured.push_back(f); };
+
+  std::optional<std::string> shrunk_to;
+  proptest::check<toy_config>(
+      [](rng& r) { return toy_config{proptest::uniform_u64(r, 0, 1000)}; },
+      [&](const toy_config& c) -> std::optional<std::string> {
+        if (c.n >= 57) return "n too big";
+        return std::nullopt;
+      },
+      [](const toy_config& c) {
+        std::vector<toy_config> out;
+        for (uint64_t v : proptest::shrink_toward(c.n, 0))
+          out.push_back(toy_config{v});
+        return out;
+      },
+      [&](const toy_config& c) {
+        shrunk_to = std::to_string(c.n);
+        return "n=" + std::to_string(c.n);
+      },
+      opt);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].shrunk_config, "n=57");
+  EXPECT_NE(captured[0].repro.find("PARSEMI_PROPTEST_SEED="),
+            std::string::npos);
+  EXPECT_NE(captured[0].repro.find("--gtest_filter=PropRunner."),
+            std::string::npos);
+}
+
+TEST(PropRunner, PassingPropertyReportsNothing) {
+  proptest::options opt;
+  opt.trials = 10;
+  bool failed = false;
+  opt.on_failure = [&](const proptest::failure&) { failed = true; };
+  proptest::check<toy_config>(
+      [](rng& r) { return toy_config{proptest::uniform_u64(r, 0, 100)}; },
+      [](const toy_config&) -> std::optional<std::string> {
+        return std::nullopt;
+      },
+      [](const toy_config&) { return std::vector<toy_config>{}; },
+      [](const toy_config& c) { return "n=" + std::to_string(c.n); }, opt);
+  EXPECT_FALSE(failed);
+}
+
+TEST(PropRunner, EnvSeedReplaysExactlyOneTrial) {
+  setenv("PARSEMI_PROPTEST_SEED", "99887766", 1);
+  std::vector<uint64_t> generated;
+  proptest::check<toy_config>(
+      [&](rng& r) {
+        toy_config c{r.next()};
+        generated.push_back(c.n);
+        return c;
+      },
+      [](const toy_config&) -> std::optional<std::string> {
+        return std::nullopt;
+      },
+      [](const toy_config&) { return std::vector<toy_config>{}; },
+      [](const toy_config&) { return std::string("toy"); });
+  unsetenv("PARSEMI_PROPTEST_SEED");
+  ASSERT_EQ(generated.size(), 1u);
+  EXPECT_EQ(generated[0], rng(99887766).next());  // replay is bit-exact
+}
+
+TEST(PropRunner, EnvTrialsOverridesCount) {
+  setenv("PARSEMI_PROPTEST_TRIALS", "3", 1);
+  int runs = 0;
+  proptest::check<toy_config>(
+      [&](rng&) {
+        ++runs;
+        return toy_config{};
+      },
+      [](const toy_config&) -> std::optional<std::string> {
+        return std::nullopt;
+      },
+      [](const toy_config&) { return std::vector<toy_config>{}; },
+      [](const toy_config&) { return std::string("toy"); });
+  unsetenv("PARSEMI_PROPTEST_TRIALS");
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(PropGuards, ScopedWorkersRestores) {
+  int original = num_workers();
+  {
+    proptest::scoped_workers w(2);
+    EXPECT_EQ(num_workers(), 2);
+  }
+  EXPECT_EQ(num_workers(), original);
+}
+
+}  // namespace
+}  // namespace parsemi

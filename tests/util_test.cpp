@@ -1,10 +1,14 @@
-// Tests for the utility layer: timers, argument parsing, table formatting.
+// Tests for the utility layer: timers, argument parsing, table formatting,
+// environment parsing edge cases, and the default-init buffer.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/default_init_buffer.h"
 #include "util/env.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -140,6 +144,78 @@ TEST(EnvInt, ParsesAndRejects) {
   EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::nullopt);
   unsetenv("PARSEMI_TEST_ENV");
   EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::nullopt);
+}
+
+TEST(EnvInt, EdgeCases) {
+  // Negative values parse (PARSEMI_* knobs treat <= 0 as "off").
+  setenv("PARSEMI_TEST_ENV", "-5", 1);
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::optional<int64_t>(-5));
+  // strtoll semantics, documented by test: a leading integer parses even
+  // with trailing garbage, and leading whitespace is skipped.
+  setenv("PARSEMI_TEST_ENV", "12abc", 1);
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::optional<int64_t>(12));
+  setenv("PARSEMI_TEST_ENV", "  42", 1);
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::optional<int64_t>(42));
+  // Empty string is "unset", not zero.
+  setenv("PARSEMI_TEST_ENV", "", 1);
+  EXPECT_EQ(env_int("PARSEMI_TEST_ENV"), std::nullopt);
+  unsetenv("PARSEMI_TEST_ENV");
+}
+
+TEST(ArgParser, FlagFollowedByFlagIsBooleanSwitch) {
+  const char* argv[] = {"prog", "--csv", "--n", "5"};
+  arg_parser args(4, const_cast<char**>(argv));
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.get_string("csv", "sentinel"), "");
+  EXPECT_EQ(args.get_int("n", 0), 5);
+}
+
+TEST(ArgParser, NegativeValuesAreValuesNotFlags) {
+  const char* argv[] = {"prog", "--n", "-5", "--alpha", "-1.5"};
+  arg_parser args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), -5);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), -1.5);
+}
+
+TEST(ArgParser, EmptyEqualsValueFallsBack) {
+  const char* argv[] = {"prog", "--name="};
+  arg_parser args(2, const_cast<char**>(argv));
+  EXPECT_TRUE(args.has("name"));
+  EXPECT_EQ(args.get_string("name", "fb"), "");
+  // Numeric getters treat the empty value as absent rather than erroring.
+  EXPECT_EQ(args.get_int("name", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("name", 2.5), 2.5);
+}
+
+TEST(ArgParserDeath, GarbageNumericValueExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--n", "12x"};
+  arg_parser args(3, const_cast<char**>(argv));
+  EXPECT_EXIT(args.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --n");
+  const char* argv2[] = {"prog", "--alpha", "fast"};
+  arg_parser args2(3, const_cast<char**>(argv2));
+  EXPECT_EXIT(args2.get_double("alpha", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --alpha");
+}
+
+TEST(DefaultInitBuffer, StoresAndReadsBack) {
+  internal::default_init_buffer<uint64_t> buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  ASSERT_NE(buf.data(), nullptr);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = i * 3;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], i * 3) << i;
+  }
+  // const access path
+  const auto& cbuf = buf;
+  EXPECT_EQ(cbuf[999], 999u * 3);
+  EXPECT_EQ(cbuf.data(), buf.data());
+}
+
+TEST(DefaultInitBuffer, ZeroSizeIsSafe) {
+  internal::default_init_buffer<int> buf(0);
+  EXPECT_EQ(buf.size(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/semisort.h"
@@ -72,6 +73,59 @@ TEST(Workspace, SameResultWithAndWithoutWorkspace) {
   auto b = semisort_hashed(std::span<const record>(in), record_key{}, {});
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Workspace, PointerStableWhileCapacitySuffices) {
+  semisort_workspace ws;
+  uint64_t* big = ws.acquire<uint64_t>(1000);
+  // Smaller or equal requests must reuse the same allocation (no churn).
+  EXPECT_EQ(reinterpret_cast<void*>(ws.acquire<uint32_t>(500)),
+            reinterpret_cast<void*>(big));
+  EXPECT_EQ(ws.acquire<uint64_t>(1000), big);
+  size_t cap = ws.capacity_bytes();
+  ws.acquire<uint64_t>(1);
+  EXPECT_EQ(ws.capacity_bytes(), cap);
+}
+
+TEST(Workspace, PoisonedScratchDoesNotLeakIntoResults) {
+  // Regression for workspace reuse across calls: acquire() hands back
+  // *unspecified* bytes, so a semisort must work even when the previous
+  // call left the worst possible garbage behind. Poison the whole buffer
+  // with 0xFF between calls and verify every round.
+  semisort_workspace ws;
+  semisort_params params;
+  params.workspace = &ws;
+  for (int round = 0; round < 3; ++round) {
+    if (ws.capacity_bytes() > 0) {
+      std::byte* raw = reinterpret_cast<std::byte*>(
+          ws.acquire<std::byte>(ws.capacity_bytes()));
+      std::memset(raw, 0xFF, ws.capacity_bytes());
+    }
+    auto in = generate_records(30000 + 7000 * static_cast<size_t>(round),
+                               {distribution_kind::zipfian, 800},
+                               90 + static_cast<uint64_t>(round));
+    std::vector<record> out(in.size());
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+    ASSERT_TRUE(testing::valid_semisort(out, in)) << "round " << round;
+  }
+}
+
+TEST(Workspace, ShrinkBetweenSemisortsIsTransparent) {
+  semisort_workspace ws;
+  semisort_params params;
+  params.workspace = &ws;
+  auto in = generate_records(60000, {distribution_kind::uniform, 300}, 21);
+  std::vector<record> out(in.size());
+  semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                  record_key{}, params);
+  ASSERT_TRUE(testing::valid_semisort(out, in));
+  ws.shrink();
+  ASSERT_EQ(ws.capacity_bytes(), 0u);
+  semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                  record_key{}, params);
+  EXPECT_TRUE(testing::valid_semisort(out, in));
+  EXPECT_GT(ws.capacity_bytes(), 0u);
 }
 
 TEST(Workspace, RetriesStillWorkWithWorkspace) {
