@@ -9,7 +9,7 @@
 namespace parsemi::bench {
 
 inline int run_breakdown(
-    int argc, char** argv, const char* title,
+    int argc, char** argv, const char* title, const char* json_name,
     const std::function<distribution_spec(size_t)>& make_spec,
     const char* shape_note) {
   arg_parser args(argc, argv);
@@ -23,11 +23,19 @@ inline int run_breakdown(
   std::printf("distribution: %s\n\n", dist_label(spec).c_str());
   auto in = generate_records(n, spec, 42);
 
+  // One memory plan across every rep and thread count: after the first rep
+  // the arena is warm, so the reported times (and the JSON's arena_allocs)
+  // reflect the zero-heap steady state a reused pipeline_context promises.
+  pipeline_context ctx;
+
   // The breakdown of the best-of-reps run at each thread count.
-  auto measure = [&](int threads) {
+  auto measure = [&](int threads, semisort_stats& stats_out) {
     set_num_workers(threads);
     std::vector<record> out(in.size());
     semisort_params params;
+    params.context = &ctx;
+    semisort_stats stats;
+    params.stats = &stats;
     phase_timer best;
     double best_total = 1e100;
     for (int r = 0; r < reps; ++r) {
@@ -38,14 +46,16 @@ inline int run_breakdown(
       if (pt.total() < best_total) {
         best_total = pt.total();
         best = pt;
+        stats_out = stats;
       }
     }
     set_num_workers(1);
     return best;
   };
 
-  phase_timer seq = measure(1);
-  phase_timer par = measure(max_threads);
+  semisort_stats seq_stats, par_stats;
+  phase_timer seq = measure(1, seq_stats);
+  phase_timer par = measure(max_threads, par_stats);
 
   ascii_table table({"phase", "seq time(s)", "seq %",
                      "T" + std::to_string(max_threads) + " time(s)",
@@ -62,6 +72,23 @@ inline int run_breakdown(
   std::printf("%s\n", table.to_string().c_str());
   if (args.has("csv")) std::printf("%s\n", table.to_csv().c_str());
   std::printf("%s", shape_note);
+
+  bench_json json(json_name);
+  auto add_json = [&](const char* mode, int threads, const phase_timer& pt,
+                      const semisort_stats& st) {
+    auto& r = json.add_row();
+    r.field("distribution", dist_label(spec))
+        .field("n", n)
+        .field("threads", threads)
+        .field("mode", std::string(mode))
+        .field("total_s", pt.total());
+    for (auto& [phase, t] : pt.phases())
+      r.field(("phase_" + phase + "_s").c_str(), t);
+    r.stats(st);
+  };
+  add_json("seq", 1, seq, seq_stats);
+  add_json("par", max_threads, par, par_stats);
+  json.write();
   return 0;
 }
 

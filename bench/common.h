@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -165,6 +166,106 @@ inline double heavy_percent(const std::vector<record>& in) {
 inline std::string dist_label(const distribution_spec& spec) {
   return spec.name() + "(" + fmt_count(spec.parameter) + ")";
 }
+
+// Machine-readable sidecar: mirrors a bench's results into BENCH_<name>.json
+// in the working directory so the memory-plan telemetry (peak scratch,
+// arena allocations, restarts, probe histogram) can be diffed across runs
+// without scraping the ASCII tables.
+class bench_json {
+ public:
+  explicit bench_json(std::string name) : name_(std::move(name)) {}
+
+  class row {
+   public:
+    row& field(const char* key, const std::string& v) {
+      add_key(key);
+      body_ += '"';
+      for (char c : v) {
+        if (c == '"' || c == '\\') body_ += '\\';
+        body_ += c;
+      }
+      body_ += '"';
+      return *this;
+    }
+    row& field(const char* key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      add_key(key);
+      body_ += buf;
+      return *this;
+    }
+    row& field(const char* key, size_t v) {
+      add_key(key);
+      body_ += std::to_string(v);
+      return *this;
+    }
+    row& field(const char* key, int v) {
+      add_key(key);
+      body_ += std::to_string(v);
+      return *this;
+    }
+    row& field_array(const char* key, const size_t* v, size_t count) {
+      add_key(key);
+      body_ += '[';
+      for (size_t i = 0; i < count; ++i) {
+        if (i > 0) body_ += ',';
+        body_ += std::to_string(v[i]);
+      }
+      body_ += ']';
+      return *this;
+    }
+    // The memory plan and scatter telemetry of one semisort run.
+    row& stats(const semisort_stats& s) {
+      field("restarts", s.restarts);
+      field("peak_scratch_bytes", s.peak_scratch_bytes);
+      field("arena_allocs", s.arena_allocs);
+      field("scratch_capacity_bytes", s.scratch_capacity_bytes);
+      field("slots_per_record", s.slots_per_record());
+      field("max_probe", s.max_probe);
+      field("mean_probe_len", s.mean_probe_len());
+      field_array("probe_hist", s.probe_hist.data(), s.probe_hist.size());
+      return *this;
+    }
+
+   private:
+    friend class bench_json;
+    void add_key(const char* key) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += '"';
+      body_ += key;
+      body_ += "\": ";
+    }
+    std::string body_;
+  };
+
+  // The returned reference stays valid for the writer's lifetime.
+  row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  {%s}%s\n", rows_[i].body_.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::deque<row> rows_;  // deque: add_row references stay valid
+};
 
 // Standard preamble: prints the machine context every table depends on.
 inline void print_context(const char* what, size_t n) {

@@ -1,8 +1,12 @@
 // collect_reduce — the MapReduce "shuffle + reduce" built on the semisort.
 //
 // Takes (key, value) pairs, groups pairs with equal keys using the
-// semisort, and folds each group's values with a user monoid. This is the
-// paper's flagship application (§1: "the core of the MapReduce paradigm").
+// tag-semisort spine (core/tag_semisort.h), and folds each group's values
+// with a user monoid. This is the paper's flagship application (§1: "the
+// core of the MapReduce paradigm"). The pairs themselves are never moved:
+// the spine semisorts 16-byte (hash, index) tags and the fold walks the
+// pairs through the sorted indices, so the only heap allocation is the
+// result vector.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/group_by.h"
+#include "core/semisort.h"
 #include "scheduler/scheduler.h"
 
 namespace parsemi {
@@ -25,20 +29,30 @@ template <typename K, typename V, typename HashFn, typename ReduceFn,
 std::vector<std::pair<K, V>> collect_reduce(
     std::span<const std::pair<K, V>> pairs, HashFn hash, ReduceFn reduce_fn,
     V identity = V{}, Eq eq = {}, const semisort_params& params = {}) {
-  auto groups = group_by(
-      pairs, [](const std::pair<K, V>& kv) -> const K& { return kv.first; },
-      hash, eq, params);
-  size_t k = groups.num_groups();
+  size_t n = pairs.size();
+  if (n == 0) return {};
+  internal::context_binding bind(params);
+  auto eq_at = [&](uint64_t a, uint64_t b) {
+    return eq(pairs[a].first, pairs[b].first);
+  };
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n, [&](size_t i) { return hash(pairs[i].first); }, params, bind.ctx());
+  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+  size_t k = starts.size();
   std::vector<std::pair<K, V>> out(k);
   parallel_for(
       0, k,
       [&](size_t g) {
-        auto grp = groups.group(g);
+        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
         V acc = identity;
-        for (const auto& kv : grp) acc = reduce_fn(acc, kv.second);
-        out[g] = {grp.front().first, acc};
+        for (size_t i = lo; i < hi; ++i)
+          acc = reduce_fn(acc, pairs[sorted[i].index].second);
+        out[g] = {pairs[sorted[lo].index].first, acc};
       },
       1);
+  bind.finalize(params.stats);
   return out;
 }
 
@@ -47,17 +61,25 @@ template <typename K, typename HashFn, typename Eq = std::equal_to<>>
 std::vector<std::pair<K, size_t>> count_by_key(
     std::span<const K> keys, HashFn hash, Eq eq = {},
     const semisort_params& params = {}) {
-  auto groups = group_by(
-      keys, [](const K& key) -> const K& { return key; }, hash, eq, params);
-  size_t k = groups.num_groups();
+  size_t n = keys.size();
+  if (n == 0) return {};
+  internal::context_binding bind(params);
+  auto eq_at = [&](uint64_t a, uint64_t b) { return eq(keys[a], keys[b]); };
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n, [&](size_t i) { return hash(keys[i]); }, params, bind.ctx());
+  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+  size_t k = starts.size();
   std::vector<std::pair<K, size_t>> out(k);
   parallel_for(
       0, k,
       [&](size_t g) {
-        auto grp = groups.group(g);
-        out[g] = {grp.front(), grp.size()};
+        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
+        out[g] = {keys[sorted[lo].index], hi - lo};
       },
       1);
+  bind.finalize(params.stats);
   return out;
 }
 

@@ -4,7 +4,10 @@
 // group-by, the MapReduce shuffle): semisort the records, then report where
 // each group of equal keys starts. Boundaries are found with a parallel
 // pack over key-change positions, so the extra cost over the semisort is
-// one linear pass.
+// one linear pass. The index- and general-key variants run on the shared
+// tag-semisort spine (core/tag_semisort.h); all scratch comes from the
+// call's pipeline_context, so only the results themselves are heap
+// allocations.
 #pragma once
 
 #include <algorithm>
@@ -32,13 +35,15 @@ struct grouped {
   }
 };
 
-// Groups records by their pre-hashed 64-bit key.
+// Groups records by their pre-hashed 64-bit key. The output vector is
+// copy-constructed from the input (no zero initialization) and semisorted
+// in place.
 template <typename Record, typename GetKey = record_key>
 grouped<Record> group_by_hashed(std::span<const Record> in, GetKey get_key = {},
                                 const semisort_params& params = {}) {
   grouped<Record> result;
-  result.records.resize(in.size());
-  semisort_hashed(in, std::span<Record>(result.records), get_key, params);
+  result.records.assign(in.begin(), in.end());
+  semisort_hashed_inplace(std::span<Record>(result.records), get_key, params);
   if (in.empty()) return result;
   result.group_start = pack_index(result.records.size(), [&](size_t i) {
     return i == 0 || get_key(result.records[i]) != get_key(result.records[i - 1]);
@@ -89,44 +94,47 @@ struct grouped_indices {
 template <typename Record, typename GetKey = record_key>
 grouped_indices group_by_index(std::span<const Record> in, GetKey get_key = {},
                                const semisort_params& params = {}) {
-  struct tagged {
-    uint64_t key;  // key-first layout → key-CAS fast path
-    uint64_t index;
-  };
   size_t n = in.size();
-  std::vector<tagged> tags(n);
-  parallel_for(0, n, [&](size_t i) {
-    tags[i] = tagged{get_key(in[i]), static_cast<uint64_t>(i)};
-  });
-  std::vector<tagged> sorted(n);
-  semisort_hashed(std::span<const tagged>(tags), std::span<tagged>(sorted),
-                  [](const tagged& t) { return t.key; }, params);
   grouped_indices result;
+  if (n == 0) return result;
+  internal::context_binding bind(params);
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n, [&](size_t i) { return get_key(in[i]); }, params, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), internal::tag_eq_trivial);
   result.order.resize(n);
   parallel_for(0, n, [&](size_t i) {
     result.order[i] = static_cast<size_t>(sorted[i].index);
   });
-  if (n == 0) return result;
-  result.group_start = pack_index(n, [&](size_t i) {
-    return i == 0 || sorted[i].key != sorted[i - 1].key;
-  });
+  result.group_start.assign(starts.begin(), starts.end());
   result.group_start.push_back(n);
+  bind.finalize(params.stats);
   return result;
 }
 
-// Groups records by an arbitrary key (hashes internally, Las Vegas).
+// Groups records by an arbitrary key (hashes internally, Las Vegas — hash
+// collisions between distinct keys are detected and repaired).
 template <typename T, typename KeyFn, typename HashFn,
           typename Eq = std::equal_to<>>
 grouped<T> group_by(std::span<const T> in, KeyFn key_of, HashFn hash,
                     Eq eq = {}, const semisort_params& params = {}) {
+  size_t n = in.size();
   grouped<T> result;
-  result.records = semisort(in, key_of, hash, eq, params);
-  if (in.empty()) return result;
-  result.group_start = pack_index(result.records.size(), [&](size_t i) {
-    return i == 0 ||
-           !eq(key_of(result.records[i]), key_of(result.records[i - 1]));
-  });
-  result.group_start.push_back(result.records.size());
+  if (n == 0) return result;
+  internal::context_binding bind(params);
+  auto eq_at = [&](uint64_t a, uint64_t b) {
+    return eq(key_of(in[a]), key_of(in[b]));
+  };
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n, [&](size_t i) { return hash(key_of(in[i])); }, params, bind.ctx());
+  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+  result.records.resize(n);
+  parallel_for(0, n, [&](size_t i) { result.records[i] = in[sorted[i].index]; });
+  result.group_start.assign(starts.begin(), starts.end());
+  result.group_start.push_back(n);
+  bind.finalize(params.stats);
   return result;
 }
 

@@ -20,8 +20,8 @@
 #include <bit>
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "core/arena.h"
 #include "core/bucket_plan.h"
 #include "core/params.h"
 #include "core/scatter.h"
@@ -32,18 +32,32 @@ namespace parsemi {
 
 namespace internal {
 
+// Per-worker scratch for the naming sort. The shared pipeline arena is not
+// thread-safe and this runs inside a per-bucket parallel_for, so each
+// worker bumps its own arena (retained for the thread's lifetime — steady
+// state allocates nothing). Page priming is off: buckets are O(log²n)
+// records, far below the priming threshold, and the owning thread is the
+// only toucher anyway.
+inline arena& bucket_scratch() {
+  static thread_local arena a(/*prime_pages=*/false);
+  return a;
+}
+
 // Sequential naming + counting sort for one small bucket.
 template <typename Record, typename GetKey>
 void counting_sort_by_naming(std::span<Record> bucket, GetKey& get_key) {
   size_t n = bucket.size();
   if (n <= 1) return;
+  arena& scratch = bucket_scratch();
+  arena_scope scope(scratch);
   size_t cap = std::bit_ceil(2 * n);
   size_t mask = cap - 1;
   constexpr uint32_t kNoLabel = ~0u;
   // Open-addressing naming table: key → dense label in first-seen order.
-  std::vector<uint64_t> table_key(cap);
-  std::vector<uint32_t> table_label(cap, kNoLabel);
-  std::vector<uint32_t> labels(n);
+  uint64_t* table_key = scratch.alloc<uint64_t>(cap);
+  uint32_t* table_label = scratch.alloc<uint32_t>(cap);
+  uint32_t* labels = scratch.alloc<uint32_t>(n);
+  std::fill(table_label, table_label + cap, kNoLabel);
   uint32_t next_label = 0;
   for (size_t i = 0; i < n; ++i) {
     uint64_t key = get_key(bucket[i]);
@@ -60,24 +74,25 @@ void counting_sort_by_naming(std::span<Record> bucket, GetKey& get_key) {
     labels[i] = table_label[slot];
   }
   // Stable counting sort by label.
-  std::vector<size_t> counts(next_label + 1, 0);
-  for (uint32_t l : labels) counts[l + 1]++;
+  size_t* counts = scratch.alloc<size_t>(next_label + 1);
+  std::fill(counts, counts + next_label + 1, size_t{0});
+  for (size_t i = 0; i < n; ++i) counts[labels[i] + 1]++;
   for (size_t l = 1; l <= next_label; ++l) counts[l] += counts[l - 1];
-  std::vector<Record> tmp(n);
+  Record* tmp = scratch.alloc<Record>(n);
   for (size_t i = 0; i < n; ++i) tmp[counts[labels[i]]++] = bucket[i];
-  std::copy(tmp.begin(), tmp.end(), bucket.begin());
+  std::copy(tmp, tmp + n, bucket.begin());
 }
 
 }  // namespace internal
 
-// Compacts and semisorts every light bucket; light_counts[j] receives the
-// number of records in light bucket j after compaction.
+// Compacts and semisorts every light bucket; light_counts[j] (a span of
+// plan.num_light elements, typically arena-allocated by the attempt loop)
+// receives the number of records in light bucket j after compaction.
 template <typename Record, typename GetKey>
 void local_sort_light_buckets(scatter_storage<Record>& storage,
                               const bucket_plan& plan, GetKey get_key,
                               const semisort_params& params,
-                              std::vector<size_t>& light_counts) {
-  light_counts.assign(plan.num_light, 0);
+                              std::span<size_t> light_counts) {
   parallel_for(
       0, plan.num_light,
       [&](size_t j) {

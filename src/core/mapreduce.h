@@ -8,8 +8,9 @@
 //
 // The map phase runs in parallel over input blocks, emitting into
 // per-block vectors that are concatenated with a scan (no locks, no
-// concurrent containers). The shuffle + reduce reuse group_by /
-// collect_reduce.
+// concurrent containers). The shuffle runs on the tag-semisort spine
+// (core/tag_semisort.h): the emitted pairs stay put and the reduce walks
+// them through the sorted tag indices.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +18,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/group_by.h"
+#include "core/semisort.h"
 #include "primitives/scan.h"
 #include "scheduler/scheduler.h"
 
@@ -64,22 +65,32 @@ std::vector<std::pair<K, Acc>> map_reduce(std::span<const Input> inputs,
                   pairs.begin() + static_cast<ptrdiff_t>(offsets[b]));
       },
       1);
+  if (total == 0) return {};
 
-  // Shuffle + reduce.
-  auto groups = group_by(
-      std::span<const std::pair<K, V>>(pairs),
-      [](const std::pair<K, V>& kv) -> const K& { return kv.first; }, hash, eq,
-      params);
-  std::vector<std::pair<K, Acc>> out(groups.num_groups());
+  // Shuffle + reduce on the tag spine.
+  internal::context_binding bind(params);
+  auto eq_at = [&](uint64_t a, uint64_t b) {
+    return eq(pairs[a].first, pairs[b].first);
+  };
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      total, [&](size_t i) { return hash(pairs[i].first); }, params,
+      bind.ctx());
+  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+  size_t k = starts.size();
+  std::vector<std::pair<K, Acc>> out(k);
   parallel_for(
-      0, groups.num_groups(),
+      0, k,
       [&](size_t g) {
-        auto grp = groups.group(g);
+        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : total;
         Acc acc = init;
-        for (const auto& kv : grp) acc = reduce_fn(std::move(acc), kv.second);
-        out[g] = {grp.front().first, std::move(acc)};
+        for (size_t i = lo; i < hi; ++i)
+          acc = reduce_fn(std::move(acc), pairs[sorted[i].index].second);
+        out[g] = {pairs[sorted[lo].index].first, std::move(acc)};
       },
       1);
+  bind.finalize(params.stats);
   return out;
 }
 

@@ -10,15 +10,18 @@
 // Light region: Phase 4 already compacted each light bucket to its start,
 // so a scan over the per-bucket counts and a parallel copy finish the job.
 //
+// All interval/offset scratch comes from ctx.scratch (freed by the caller's
+// checkpoint rewind); nothing here touches the heap.
+//
 // Returns the number of records written, which the caller asserts equals n.
 #pragma once
 
 #include <algorithm>
 #include <span>
-#include <vector>
 
 #include "core/bucket_plan.h"
 #include "core/params.h"
+#include "core/pipeline_context.h"
 #include "core/scatter.h"
 #include "primitives/scan.h"
 #include "scheduler/scheduler.h"
@@ -28,17 +31,21 @@ namespace parsemi {
 template <typename Record>
 size_t pack_output(scatter_storage<Record>& storage, const bucket_plan& plan,
                    std::span<const size_t> light_counts, std::span<Record> out,
-                   const semisort_params& params) {
+                   const semisort_params& params, pipeline_context& ctx) {
+  arena& scratch = ctx.scratch;
+
   // --- heavy region ---
   size_t heavy_slots = plan.heavy_slots_end;
   size_t heavy_total = 0;
   if (heavy_slots > 0) {
     size_t num_intervals = std::min<size_t>(
         std::max<size_t>(params.pack_intervals, 1), heavy_slots);
-    std::vector<size_t> interval_start(num_intervals + 1);
+    std::span<size_t> interval_start(scratch.alloc<size_t>(num_intervals + 1),
+                                     num_intervals + 1);
     for (size_t t = 0; t <= num_intervals; ++t)
       interval_start[t] = (t * heavy_slots) / num_intervals;
-    std::vector<size_t> interval_count(num_intervals);
+    std::span<size_t> interval_count(scratch.alloc<size_t>(num_intervals),
+                                     num_intervals);
 
     parallel_for(
         0, num_intervals,
@@ -55,7 +62,10 @@ size_t pack_output(scatter_storage<Record>& storage, const bucket_plan& plan,
         },
         1);
 
-    heavy_total = scan_exclusive_inplace(std::span<size_t>(interval_count));
+    size_t scan_blocks = internal::scan_num_blocks(num_intervals);
+    std::span<size_t> scan_scratch(scratch.alloc<size_t>(scan_blocks),
+                                   scan_blocks);
+    heavy_total = scan_exclusive_inplace(interval_count, size_t{0}, scan_scratch);
     parallel_for(
         0, num_intervals,
         [&](size_t t) {
@@ -70,9 +80,17 @@ size_t pack_output(scatter_storage<Record>& storage, const bucket_plan& plan,
   }
 
   // --- light region (already compacted per bucket in Phase 4) ---
-  std::vector<size_t> light_out_offset(light_counts.begin(), light_counts.end());
-  size_t light_total = scan_exclusive_inplace(
-      std::span<size_t>(light_out_offset), heavy_total);
+  size_t num_light = light_counts.size();
+  std::span<size_t> light_out_offset(scratch.alloc<size_t>(num_light),
+                                     num_light);
+  parallel_for(0, num_light, [&](size_t j) {
+    light_out_offset[j] = light_counts[j];
+  });
+  size_t scan_blocks = internal::scan_num_blocks(num_light);
+  std::span<size_t> scan_scratch(scratch.alloc<size_t>(scan_blocks),
+                                 scan_blocks);
+  size_t light_total =
+      scan_exclusive_inplace(light_out_offset, heavy_total, scan_scratch);
   light_total -= heavy_total;
   parallel_for(
       0, plan.num_light,

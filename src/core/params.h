@@ -8,6 +8,7 @@
 // light_bucket_samples); both knobs restore the paper's literal choices.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -31,12 +32,40 @@ struct semisort_stats {
   size_t heavy_slots = 0;
   int restarts = 0;               // Las-Vegas retries (overflow etc.)
 
+  // Memory plan of the call (core/arena.h): high-water scratch footprint,
+  // bump allocations served, and the arena capacity afterwards. With a
+  // reused pipeline_context, arena_allocs stays flat and heap traffic is
+  // zero in steady state (tests/alloc_regression_test.cpp).
+  size_t peak_scratch_bytes = 0;
+  size_t arena_allocs = 0;
+  size_t scratch_capacity_bytes = 0;
+
+  // Scatter probe-length histogram (successful attempt only): bin b counts
+  // records whose claim took a probe distance d with bit_width(d) == b,
+  // i.e. bin 0 ⇔ first slot free, bin 1 ⇔ d = 1, bin 2 ⇔ d ∈ {2,3}, …;
+  // the last bin also absorbs anything longer. Filled only when stats are
+  // requested (one relaxed atomic increment per record).
+  static constexpr size_t kProbeBins = 16;
+  std::array<size_t, kProbeBins> probe_hist{};
+  size_t max_probe = 0;  // longest observed probe distance
+
   double heavy_fraction() const {
     return n == 0 ? 0.0 : static_cast<double>(heavy_records) / static_cast<double>(n);
   }
   // Space blow-up of the intermediate bucket array relative to the input.
   double slots_per_record() const {
     return n == 0 ? 0.0 : static_cast<double>(total_slots) / static_cast<double>(n);
+  }
+  double mean_probe_len() const {
+    // Bin midpoints approximate the mean; exact for bins 0 and 1.
+    double records = 0, sum = 0;
+    for (size_t b = 0; b < kProbeBins; ++b) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(size_t{1} << (b - 1));
+      double hi = b == 0 ? 0.0 : static_cast<double>((size_t{1} << b) - 1);
+      records += static_cast<double>(probe_hist[b]);
+      sum += static_cast<double>(probe_hist[b]) * (lo + hi) / 2.0;
+    }
+    return records == 0 ? 0.0 : sum / records;
   }
 };
 
@@ -91,9 +120,15 @@ struct semisort_params {
   size_t sequential_cutoff = 256;   // below this, just std::sort by key
   phase_timer* timings = nullptr;   // optional per-phase breakdown
   semisort_stats* stats = nullptr;  // optional counters
-  semisort_workspace* workspace = nullptr;  // optional reusable scratch
-                                    // (see core/workspace.h); not
-                                    // thread-safe across concurrent calls
+  pipeline_context* context = nullptr;  // optional reusable scratch + rng
+                                    // spine (core/pipeline_context.h);
+                                    // reuse across calls for zero-alloc
+                                    // steady state. Not thread-safe across
+                                    // concurrent calls.
+  semisort_workspace* workspace = nullptr;  // deprecated: pre-context
+                                    // scratch API (core/workspace.h); its
+                                    // embedded context is used when
+                                    // `context` is null. Prefer `context`.
 
   // Rejects configurations the algorithm cannot run with. Called by the
   // public entry points; throws std::invalid_argument naming the offending

@@ -1,0 +1,45 @@
+// pipeline_context — the per-call spine threaded through every semisort
+// phase and derived operator: one arena (the memory plan), one rng stream,
+// and the borrowed telemetry sinks (phase timer + stats).
+//
+// Ownership model: a context outlives calls, not the other way around.
+// Callers that semisort repeatedly construct one pipeline_context (or keep
+// using a deprecated `semisort_workspace`, which now wraps one) and pass it
+// via `semisort_params::context`; after warm-up every call's scratch is
+// served from the arena's retained capacity — zero heap allocations. Calls
+// without a context get a stack-local one and pay fresh-allocation cost,
+// exactly like the pre-arena code did.
+//
+// Not thread-safe: one context per concurrent semisort call (concurrent
+// calls each take their own, as before with semisort_workspace).
+#pragma once
+
+#include "core/arena.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace parsemi {
+
+struct semisort_stats;  // core/params.h
+
+struct pipeline_context {
+  arena scratch;
+
+  // Per-attempt stream; the Las-Vegas retry loop reseeds it from
+  // (params.seed, attempt) so retries draw fresh randomness.
+  rng base{0};
+
+  // Borrowed from semisort_params for the duration of one call.
+  phase_timer* timings = nullptr;
+  semisort_stats* stats = nullptr;
+
+  // Re-entrancy depth (derived operators call semisort_hashed with the same
+  // context); only the outermost frame owns high-water/alloc accounting.
+  int depth = 0;
+
+  void record_phase(const char* name) {
+    if (timings != nullptr) timings->record(name);
+  }
+};
+
+}  // namespace parsemi

@@ -3,13 +3,16 @@
 // of what examples/hash_join.cpp demonstrates inline.
 //
 //   equi_join:       R ⋈ S on 64-bit (pre-hashed) join keys; emits the
-//                    per-key cross product via one semisort over the tagged
-//                    union of both relations, with exact output sizing.
+//                    per-key cross product via one tag semisort over the
+//                    implicit union of both relations (nothing is copied
+//                    into a tagged array — the spine's key function indexes
+//                    straight into R and S), with exact output sizing.
 //   group_aggregate: SELECT key, agg(value) GROUP BY key.
 //
 // Both are O(|R| + |S| + |output|) expected work and polylog depth, the
 // semisort-based strategy from the main-memory join literature the paper
-// cites (Balkesen et al.).
+// cites (Balkesen et al.). All scratch comes from the call's
+// pipeline_context; the result vectors are the only heap allocations.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +20,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/group_by.h"
+#include "core/semisort.h"
 #include "primitives/scan.h"
 #include "scheduler/scheduler.h"
 
@@ -41,48 +44,57 @@ std::vector<join_row> equi_join(std::span<const LeftRecord> left,
                                 LeftKey left_key, LeftValue left_value,
                                 RightKey right_key, RightValue right_value,
                                 const semisort_params& params = {}) {
-  struct tagged {
-    uint64_t key;   // first word → key-CAS fast path
-    uint64_t value;
-    uint64_t side;  // 0 = left, 1 = right
-  };
   size_t nl = left.size(), nr = right.size();
-  std::vector<tagged> all(nl + nr);
-  parallel_for(0, nl, [&](size_t i) {
-    all[i] = {left_key(left[i]), left_value(left[i]), 0};
-  });
-  parallel_for(0, nr, [&](size_t i) {
-    all[nl + i] = {right_key(right[i]), right_value(right[i]), 1};
-  });
+  size_t n = nl + nr;
+  if (n == 0) return {};
+  internal::context_binding bind(params);
+  arena& scratch = bind.ctx().scratch;
 
-  auto g = group_by_hashed(std::span<const tagged>(all),
-                           [](const tagged& t) { return t.key; }, params);
+  // Tag positions 0..nl-1 are left rows, nl..n-1 are right rows.
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n,
+      [&](size_t i) {
+        return i < nl ? left_key(left[i]) : right_key(right[i - nl]);
+      },
+      params, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), internal::tag_eq_trivial);
 
   // Exact output sizing: per-group left-count × right-count, scanned.
-  size_t num_groups = g.num_groups();
-  std::vector<size_t> out_offset(num_groups);
-  parallel_for(0, num_groups, [&](size_t grp) {
-    auto span = g.group(grp);
+  size_t num_groups = starts.size();
+  std::span<size_t> out_offset(scratch.alloc<size_t>(num_groups), num_groups);
+  parallel_for(0, num_groups, [&](size_t g) {
+    size_t lo = starts[g], hi = g + 1 < num_groups ? starts[g + 1] : n;
     size_t lefts = 0;
-    for (const auto& t : span) lefts += (t.side == 0);
-    out_offset[grp] = lefts * (span.size() - lefts);
+    for (size_t i = lo; i < hi; ++i) lefts += (sorted[i].index < nl);
+    out_offset[g] = lefts * (hi - lo - lefts);
   });
-  size_t out_size = scan_exclusive_inplace(std::span<size_t>(out_offset));
+  size_t scan_blocks = internal::scan_num_blocks(num_groups);
+  std::span<size_t> scan_scratch(scratch.alloc<size_t>(scan_blocks),
+                                 scan_blocks);
+  size_t out_size =
+      scan_exclusive_inplace(out_offset, size_t{0}, scan_scratch);
 
   std::vector<join_row> out(out_size);
   parallel_for(
       0, num_groups,
-      [&](size_t grp) {
-        auto span = g.group(grp);
-        size_t w = out_offset[grp];
-        for (const auto& a : span) {
-          if (a.side != 0) continue;
-          for (const auto& b : span) {
-            if (b.side == 1) out[w++] = {a.key, a.value, b.value};
+      [&](size_t g) {
+        size_t lo = starts[g], hi = g + 1 < num_groups ? starts[g + 1] : n;
+        size_t w = out_offset[g];
+        for (size_t i = lo; i < hi; ++i) {
+          size_t a = sorted[i].index;
+          if (a >= nl) continue;
+          for (size_t j = lo; j < hi; ++j) {
+            size_t b = sorted[j].index;
+            if (b >= nl) {
+              out[w++] = {sorted[i].key, left_value(left[a]),
+                          right_value(right[b - nl])};
+            }
           }
         }
       },
       1);
+  bind.finalize(params.stats);
   return out;
 }
 
@@ -93,26 +105,26 @@ template <typename Record, typename GetKey, typename GetValue, typename Acc,
 std::vector<std::pair<uint64_t, Acc>> group_aggregate(
     std::span<const Record> rows, GetKey get_key, GetValue get_value,
     Acc init, Fold fold, const semisort_params& params = {}) {
-  struct kv {
-    uint64_t key;
-    uint64_t value;
-  };
-  std::vector<kv> tagged(rows.size());
-  parallel_for(0, rows.size(), [&](size_t i) {
-    tagged[i] = {get_key(rows[i]), get_value(rows[i])};
-  });
-  auto g = group_by_hashed(std::span<const kv>(tagged),
-                           [](const kv& t) { return t.key; }, params);
-  std::vector<std::pair<uint64_t, Acc>> out(g.num_groups());
+  size_t n = rows.size();
+  if (n == 0) return {};
+  internal::context_binding bind(params);
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n, [&](size_t i) { return get_key(rows[i]); }, params, bind.ctx());
+  std::span<size_t> starts =
+      internal::tag_group_starts(sorted, bind.ctx(), internal::tag_eq_trivial);
+  size_t k = starts.size();
+  std::vector<std::pair<uint64_t, Acc>> out(k);
   parallel_for(
-      0, g.num_groups(),
-      [&](size_t grp) {
-        auto span = g.group(grp);
+      0, k,
+      [&](size_t g) {
+        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
         Acc acc = init;
-        for (const auto& t : span) acc = fold(std::move(acc), t.value);
-        out[grp] = {span.front().key, std::move(acc)};
+        for (size_t i = lo; i < hi; ++i)
+          acc = fold(std::move(acc), get_value(rows[sorted[i].index]));
+        out[g] = {sorted[lo].key, std::move(acc)};
       },
       1);
+  bind.finalize(params.stats);
   return out;
 }
 

@@ -1,27 +1,37 @@
-// Phase 1a — sampling (§4 Phase 1).
+// Phase 1 — sample and sort (§4 Phase 1).
 //
 // The paper replaces independent Bernoulli(p) sampling with strided
 // sampling: the i-th sample is drawn uniformly from the i-th stride of
 // ~1/p consecutive records. Per key the expected number of samples matches
 // the Bernoulli scheme, the sample size is exactly ⌊n·p⌋ (no variance), and
 // the memory access pattern is sequential-ish.
+//
+// The arena-backed entry points below (span results, scratch from a
+// pipeline_context) are what the pipeline runs; the vector-returning form
+// is kept as a standalone convenience for tests and ablations.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/pipeline_context.h"
 #include "scheduler/scheduler.h"
 #include "util/rng.h"
 
 namespace parsemi {
 
+// Samples ⌊n·p⌋ hashed keys into ctx.scratch; the span lives until the
+// caller's arena checkpoint is rewound.
 template <typename Record, typename GetKey>
-std::vector<uint64_t> sample_keys(std::span<const Record> in, GetKey get_key,
-                                  double sampling_p, rng base) {
+std::span<uint64_t> sample_keys(std::span<const Record> in, GetKey get_key,
+                                double sampling_p, rng base,
+                                pipeline_context& ctx) {
   size_t n = in.size();
   auto num_samples = static_cast<size_t>(static_cast<double>(n) * sampling_p);
-  std::vector<uint64_t> sample(num_samples);
+  std::span<uint64_t> sample(ctx.scratch.alloc<uint64_t>(num_samples),
+                             num_samples);
   parallel_for(0, num_samples, [&](size_t i) {
     // Stride boundaries chosen so the strides exactly tile [0, n).
     size_t lo = (i * n) / num_samples;
@@ -31,5 +41,75 @@ std::vector<uint64_t> sample_keys(std::span<const Record> in, GetKey get_key,
   });
   return sample;
 }
+
+// Standalone convenience: same sampling into a fresh vector.
+template <typename Record, typename GetKey>
+std::vector<uint64_t> sample_keys(std::span<const Record> in, GetKey get_key,
+                                  double sampling_p, rng base) {
+  pipeline_context ctx;
+  std::span<uint64_t> s = sample_keys(in, get_key, sampling_p, base, ctx);
+  return std::vector<uint64_t>(s.begin(), s.end());
+}
+
+namespace internal {
+
+// Allocation-free sorter for the (pre-hashed, hence near-uniform) sample:
+// one parallel MSD counting pass on the top 8 bits into arena scratch, then
+// an independent std::sort per 1/256th of the key space. Small samples skip
+// straight to std::sort. Replaces radix_sort_u64 in the pipeline, whose
+// recursive tmp/starts vectors would break the steady-state
+// zero-allocation contract.
+inline void radix_sort_sample(std::span<uint64_t> a, arena& scratch) {
+  size_t m = a.size();
+  constexpr size_t kSeqThreshold = size_t{1} << 13;
+  if (m <= kSeqThreshold || num_workers() == 1) {
+    std::sort(a.begin(), a.end());
+    return;
+  }
+  arena_scope scope(scratch);
+  constexpr size_t kBuckets = 256;
+  constexpr int kShift = 56;
+  size_t p = static_cast<size_t>(num_workers());
+  size_t block = std::max<size_t>(4096, m / (8 * p) + 1);
+  size_t num_blocks = (m + block - 1) / block;
+
+  std::span<uint64_t> tmp(scratch.alloc<uint64_t>(m), m);
+  // Bucket-major counts matrix: counts[q * num_blocks + b] = block b's
+  // count for bucket q; after the scan, the same cell is block b's write
+  // cursor into bucket q (each cell is exclusive to one block — no atomics).
+  size_t cells = kBuckets * num_blocks;
+  std::span<size_t> counts(scratch.alloc<size_t>(cells), cells);
+  parallel_for_blocks(m, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t local[kBuckets] = {};
+    for (size_t i = lo; i < hi; ++i) local[a[i] >> kShift]++;
+    for (size_t q = 0; q < kBuckets; ++q) counts[q * num_blocks + b] = local[q];
+  });
+  size_t running = 0;
+  for (size_t c = 0; c < cells; ++c) {
+    size_t next = running + counts[c];
+    counts[c] = running;
+    running = next;
+  }
+  // Bucket q's range in tmp is [counts[q*num_blocks], counts[(q+1)*num_blocks]).
+  parallel_for_blocks(m, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t cursor[kBuckets];
+    for (size_t q = 0; q < kBuckets; ++q) cursor[q] = counts[q * num_blocks + b];
+    for (size_t i = lo; i < hi; ++i) tmp[cursor[a[i] >> kShift]++] = a[i];
+  });
+  parallel_for(
+      0, kBuckets,
+      [&](size_t q) {
+        size_t lo = counts[q * num_blocks];
+        size_t hi = q + 1 < kBuckets ? counts[(q + 1) * num_blocks] : m;
+        std::sort(tmp.begin() + static_cast<ptrdiff_t>(lo),
+                  tmp.begin() + static_cast<ptrdiff_t>(hi));
+        std::copy(tmp.begin() + static_cast<ptrdiff_t>(lo),
+                  tmp.begin() + static_cast<ptrdiff_t>(hi),
+                  a.begin() + static_cast<ptrdiff_t>(lo));
+      },
+      1);
+}
+
+}  // namespace internal
 
 }  // namespace parsemi

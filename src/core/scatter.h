@@ -19,16 +19,16 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
 #include <type_traits>
-#include <vector>
 
 #include "core/bucket_plan.h"
 #include "core/params.h"
-#include "core/workspace.h"
+#include "core/pipeline_context.h"
 #include "util/default_init_buffer.h"
 #include "scheduler/scheduler.h"
 #include "util/rng.h"
@@ -54,14 +54,15 @@ constexpr bool key_cas_eligible() {
 }  // namespace internal
 
 // The bucket backing array plus occupancy metadata for one semisort run.
-// When a semisort_workspace is supplied, the (large) slot array is borrowed
-// from it instead of allocated fresh — repeated semisorts then skip the
-// allocation and its first-touch page faults.
+// With a pipeline_context the (large) slot array and flag bytes are served
+// from its arena — repeated semisorts then skip both the allocation and its
+// first-touch page faults; without one the storage is owned (one fresh
+// allocation per run, as before the arena).
 template <typename Record>
 struct scatter_storage {
   static constexpr bool kKeyCas = internal::key_cas_eligible<Record>();
 
-  // Slot array view: backed by owned_ or by the caller's workspace.
+  // Slot array view: backed by owned_ or by the context's arena.
   struct slot_view {
     Record* ptr = nullptr;
     size_t count = 0;
@@ -71,30 +72,40 @@ struct scatter_storage {
   };
 
   slot_view slots;
-  std::vector<std::atomic<uint8_t>> flags;  // used only when !kKeyCas
+  uint8_t* flags = nullptr;  // used only when !kKeyCas; atomic_ref-accessed
   uint64_t sentinel = 0;
 
   explicit scatter_storage(size_t total_slots, uint64_t sentinel_value,
-                           semisort_workspace* workspace = nullptr)
+                           pipeline_context* ctx = nullptr)
       : sentinel(sentinel_value),
-        owned_(workspace != nullptr ? 0 : total_slots) {
-    slots.ptr = workspace != nullptr ? workspace->acquire<Record>(total_slots)
-                                     : owned_.data();
+        owned_(ctx != nullptr ? 0 : total_slots) {
+    slots.ptr =
+        ctx != nullptr ? ctx->scratch.alloc<Record>(total_slots) : owned_.data();
     slots.count = total_slots;
     if constexpr (kKeyCas) {
       // Only the key words need initializing; payload bytes are written by
       // the claiming CAS's winner before anyone reads them.
       parallel_for(0, total_slots, [&](size_t i) { slots[i].key = sentinel; });
     } else {
-      flags = std::vector<std::atomic<uint8_t>>(total_slots);
+      if (ctx != nullptr) {
+        flags = ctx->scratch.alloc<uint8_t>(total_slots);
+      } else {
+        owned_flags_ = std::make_unique_for_overwrite<uint8_t[]>(total_slots);
+        flags = owned_flags_.get();
+      }
       parallel_for(0, total_slots, [&](size_t i) {
-        flags[i].store(0, std::memory_order_relaxed);
+        flag_at(i).store(0, std::memory_order_relaxed);
       });
     }
   }
 
  private:
   internal::default_init_buffer<Record> owned_;
+  std::unique_ptr<uint8_t[]> owned_flags_;
+
+  std::atomic_ref<uint8_t> flag_at(size_t i) const {
+    return std::atomic_ref<uint8_t>(flags[i]);
+  }
 
  public:
   // Valid between phases (after a parallel_for join).
@@ -102,7 +113,7 @@ struct scatter_storage {
     if constexpr (kKeyCas) {
       return slots[i].key != sentinel;
     } else {
-      return flags[i].load(std::memory_order_relaxed) != 0;
+      return flag_at(i).load(std::memory_order_relaxed) != 0;
     }
   }
 
@@ -127,10 +138,10 @@ struct scatter_storage {
       return true;
     } else {
       uint8_t expected = 0;
-      if (flags[i].load(std::memory_order_relaxed) != 0) return false;
-      if (!flags[i].compare_exchange_strong(expected, 1,
-                                            std::memory_order_acq_rel,
-                                            std::memory_order_relaxed)) {
+      if (flag_at(i).load(std::memory_order_relaxed) != 0) return false;
+      if (!flag_at(i).compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
         return false;
       }
       slots[i] = rec;
@@ -141,15 +152,47 @@ struct scatter_storage {
 
 enum class scatter_result { ok, overflow, sentinel_clash };
 
+namespace internal {
+
+// Probe-length → histogram bin (semisort_stats::probe_hist convention):
+// bin = bit_width(d), capped at the last bin.
+inline size_t probe_bin(size_t d) {
+  return std::min<size_t>(std::bit_width(d), semisort_stats::kProbeBins - 1);
+}
+
+}  // namespace internal
+
+// Concurrent probe-length accumulator, copied into semisort_stats by the
+// attempt loop. Stack-allocated by the caller only when stats were
+// requested; the nullptr fast path costs nothing.
+struct scatter_probe_stats {
+  std::atomic<size_t> bins[semisort_stats::kProbeBins] = {};
+  std::atomic<size_t> max{0};
+
+  void note(size_t probe_distance) {
+    bins[internal::probe_bin(probe_distance)].fetch_add(
+        1, std::memory_order_relaxed);
+    size_t cur = max.load(std::memory_order_relaxed);
+    while (probe_distance > cur &&
+           !max.compare_exchange_weak(cur, probe_distance,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+};
+
 // Places every input record into a slot of its bucket. Returns `overflow`
 // if some bucket had no free slot (caller retries with larger α), and
 // `sentinel_clash` in key-CAS mode if an input key equals the sentinel
 // (caller retries with a fresh sentinel).
+//
+// When `probe` is non-null, each successful claim notes its probe distance
+// (one relaxed atomic per record).
 template <typename Record, typename GetKey>
 scatter_result scatter_records(std::span<const Record> in,
                                scatter_storage<Record>& storage,
                                const bucket_plan& plan, GetKey get_key,
-                               const semisort_params& params, rng base) {
+                               const semisort_params& params, rng base,
+                               scatter_probe_stats* probe = nullptr) {
   std::atomic<bool> overflow{false};
   std::atomic<bool> clash{false};
   const bool random_probing =
@@ -176,7 +219,10 @@ scatter_result scatter_records(std::span<const Record> in,
       rng r = base.split(i);
       size_t max_attempts = 16 * cap + 64;
       for (size_t t = 0; t < max_attempts; ++t) {
-        if (storage.try_claim(off + r.next_below(cap), rec)) return;
+        if (storage.try_claim(off + r.next_below(cap), rec)) {
+          if (probe != nullptr) probe->note(t);
+          return;
+        }
       }
       overflow.store(true, std::memory_order_relaxed);
     } else {
@@ -185,7 +231,10 @@ scatter_result scatter_records(std::span<const Record> in,
       size_t start = base.ith_below(i, cap);
       size_t pos = start;
       for (size_t t = 0; t < cap; ++t) {
-        if (storage.try_claim(off + pos, rec)) return;
+        if (storage.try_claim(off + pos, rec)) {
+          if (probe != nullptr) probe->note(t);
+          return;
+        }
         if (++pos == cap) pos = 0;
       }
       overflow.store(true, std::memory_order_relaxed);

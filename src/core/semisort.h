@@ -5,8 +5,10 @@
 //                      end up contiguous in the output. O(n) expected work,
 //                      O(log n) depth w.h.p.
 //   semisort         — arbitrary keys: hashes internally, verifies that no
-//                      two distinct keys collided (Las Vegas: re-hashes with
-//                      a new seed on collision), returns the reordered input.
+//                      two distinct keys collided (Las Vegas: repairs on
+//                      collision), returns the reordered input. Defined in
+//                      core/tag_semisort.h (included below) on the shared
+//                      tag-semisort-permute spine.
 //
 // Pipeline (all phases named as in §4, surfaced via params.timings):
 //   1. "sample and sort"    — strided sample of hashed keys, radix-sorted
@@ -17,12 +19,20 @@
 // Bucket overflow (probability ≤ n^{-c+1}/log²n, Corollary 3.4) and the
 // astronomically-unlikely sentinel clash restart the run with doubled α /
 // fresh randomness, making the whole routine Las Vegas.
+//
+// Memory plan: every phase draws scratch from one pipeline_context arena
+// (core/pipeline_context.h); each Las-Vegas attempt is an arena checkpoint
+// that is rewound whether the attempt succeeds or not. Callers that pass a
+// context via semisort_params::context (or a legacy semisort_workspace)
+// reuse its capacity across calls — steady state performs zero heap
+// allocations (tests/alloc_regression_test.cpp asserts this).
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -32,6 +42,7 @@
 #include "core/local_sort.h"
 #include "core/pack_phase.h"
 #include "core/params.h"
+#include "core/pipeline_context.h"
 #include "core/sampler.h"
 #include "core/scatter.h"
 #include "hashing/hash64.h"
@@ -44,24 +55,87 @@ namespace parsemi {
 
 namespace internal {
 
+// Resolves the pipeline_context a call runs on — params.context, else the
+// deprecated workspace's embedded context, else a stack-local one — and
+// owns the per-call arena frame and accounting for the outermost call on
+// that context (derived operators re-enter with the same context; only the
+// outermost frame marks/rewinds the arena base and publishes the memory
+// plan to stats via finalize()).
+class context_binding {
+ public:
+  explicit context_binding(const semisort_params& params) {
+    if (params.context != nullptr) {
+      ctx_ = params.context;
+    } else if (params.workspace != nullptr) {
+      ctx_ = &params.workspace->context();
+    } else {
+      local_.emplace();
+      ctx_ = &*local_;
+    }
+    owner_ = (ctx_->depth++ == 0);
+    if (owner_) {
+      base_ = ctx_->scratch.mark();
+      ctx_->scratch.reset_high_water();
+      alloc_snap_ = ctx_->scratch.alloc_count();
+      ctx_->timings = params.timings;
+      ctx_->stats = params.stats;
+    }
+  }
+
+  ~context_binding() {
+    if (owner_) {
+      ctx_->scratch.rewind(base_);
+      ctx_->timings = nullptr;
+      ctx_->stats = nullptr;
+    }
+    ctx_->depth--;
+  }
+
+  context_binding(const context_binding&) = delete;
+  context_binding& operator=(const context_binding&) = delete;
+
+  pipeline_context& ctx() { return *ctx_; }
+
+  // Publishes the call's memory plan into `stats` (outermost frame only —
+  // a derived operator's numbers cover its tag arrays plus the inner
+  // semisort, not the inner call alone).
+  void finalize(semisort_stats* stats) {
+    if (owner_ && stats != nullptr) {
+      stats->peak_scratch_bytes = ctx_->scratch.high_water_bytes();
+      stats->arena_allocs = ctx_->scratch.alloc_count() - alloc_snap_;
+      stats->scratch_capacity_bytes = ctx_->scratch.capacity_bytes();
+    }
+  }
+
+ private:
+  std::optional<pipeline_context> local_;
+  pipeline_context* ctx_ = nullptr;
+  arena::checkpoint base_;
+  size_t alloc_snap_ = 0;
+  bool owner_ = false;
+};
+
 template <typename Record, typename GetKey>
 bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
                       GetKey get_key, const semisort_params& params,
-                      double alpha, uint64_t attempt_salt) {
+                      double alpha, uint64_t attempt_salt,
+                      pipeline_context& ctx) {
   size_t n = in.size();
-  rng base(splitmix64(params.seed + 0x9e3779b9ULL * attempt_salt));
+  arena_scope attempt_frame(ctx.scratch);
+  ctx.base = rng(splitmix64(params.seed + 0x9e3779b9ULL * attempt_salt));
+  rng& base = ctx.base;
   phase_timer* pt = params.timings;
   if (pt != nullptr) pt->start();
 
   // Phase 1 — sample and sort.
-  std::vector<uint64_t> sample =
-      sample_keys(in, get_key, params.sampling_p, base.split(1));
+  std::span<uint64_t> sample =
+      sample_keys(in, get_key, params.sampling_p, base.split(1), ctx);
   switch (params.sample_sort_with) {
     case semisort_params::sample_sorter::radix:
-      radix_sort_u64(std::span<uint64_t>(sample));
+      internal::radix_sort_sample(sample, ctx.scratch);
       break;
     case semisort_params::sample_sorter::merge_sort:
-      parallel_merge_sort(std::span<uint64_t>(sample));
+      parallel_merge_sort(sample);
       break;
     case semisort_params::sample_sorter::std_sort:
       std::sort(sample.begin(), sample.end());
@@ -71,19 +145,22 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
 
   // Phase 2 — construct buckets.
   bucket_plan plan = build_bucket_plan(std::span<const uint64_t>(sample), n,
-                                       params, alpha);
+                                       params, alpha, ctx);
   if (pt != nullptr) pt->record("construct buckets");
 
   // Phase 3 — scatter.
   scatter_storage<Record> storage(plan.total_slots, base.split(2).next() | 1,
-                                  params.workspace);
+                                  &ctx);
+  scatter_probe_stats probe_stats;
   scatter_result result =
-      scatter_records(in, storage, plan, get_key, params, base.split(3));
+      scatter_records(in, storage, plan, get_key, params, base.split(3),
+                      params.stats != nullptr ? &probe_stats : nullptr);
   if (pt != nullptr) pt->record("scatter");
   if (result != scatter_result::ok) return false;
 
   // Phase 4 — local sort.
-  std::vector<size_t> light_counts;
+  std::span<size_t> light_counts(ctx.scratch.alloc<size_t>(plan.num_light),
+                                 plan.num_light);
   local_sort_light_buckets(storage, plan, get_key, params, light_counts);
   if (pt != nullptr) pt->record("local sort");
 
@@ -98,18 +175,26 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
     st.num_light_buckets = plan.num_light;
     st.total_slots = plan.total_slots;
     st.heavy_slots = plan.heavy_slots_end;
+    size_t blocks = internal::scan_num_blocks(n);
+    std::span<size_t> sums(ctx.scratch.alloc<size_t>(blocks), blocks);
     st.heavy_records =
         plan.num_heavy == 0
             ? 0
-            : count_if_index(n, [&](size_t i) {
-                return plan.heavy_table->contains(get_key(in[i]));
-              });
+            : reduce_index<size_t>(
+                  n,
+                  [&](size_t i) -> size_t {
+                    return plan.heavy_table->contains(get_key(in[i])) ? 1 : 0;
+                  },
+                  0, sums);
+    for (size_t b = 0; b < semisort_stats::kProbeBins; ++b)
+      st.probe_hist[b] = probe_stats.bins[b].load(std::memory_order_relaxed);
+    st.max_probe = probe_stats.max.load(std::memory_order_relaxed);
   }
 
   // Phase 5 — pack.
   size_t written = pack_output(storage, plan,
                                std::span<const size_t>(light_counts), out,
-                               params);
+                               params, ctx);
   if (pt != nullptr) pt->record("pack");
   if (written != n) {
     // Every record was claimed exactly once, so this can only mean a bug.
@@ -142,28 +227,21 @@ void semisort_hashed(std::span<const Record> in, std::span<Record> out,
     return;
   }
   if (params.stats != nullptr) *params.stats = {};
+  internal::context_binding bind(params);
   double alpha = params.alpha;
   for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
     if (params.timings != nullptr && attempt > 0) params.timings->clear();
     if (internal::semisort_attempt(in, out, get_key, params, alpha,
-                                   static_cast<uint64_t>(attempt))) {
+                                   static_cast<uint64_t>(attempt),
+                                   bind.ctx())) {
       if (params.stats != nullptr) params.stats->restarts = attempt;
+      bind.finalize(params.stats);
       return;
     }
     alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
   }
   throw std::runtime_error(
       "parsemi::semisort_hashed: bucket overflow persisted after retries");
-}
-
-// Convenience: returns the semisorted copy.
-template <typename Record, typename GetKey = record_key>
-std::vector<Record> semisort_hashed(std::span<const Record> in,
-                                    GetKey get_key = {},
-                                    const semisort_params& params = {}) {
-  std::vector<Record> out(in.size());
-  semisort_hashed(in, std::span<Record>(out), get_key, params);
-  return out;
 }
 
 // In-place semisort: reorders `data` directly. Works because the
@@ -185,13 +263,16 @@ void semisort_hashed_inplace(std::span<Record> data, GetKey get_key = {},
     return;
   }
   if (params.stats != nullptr) *params.stats = {};
+  internal::context_binding bind(params);
   double alpha = params.alpha;
   for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
     if (params.timings != nullptr && attempt > 0) params.timings->clear();
     if (internal::semisort_attempt(std::span<const Record>(data), data,
                                    get_key, params, alpha,
-                                   static_cast<uint64_t>(attempt))) {
+                                   static_cast<uint64_t>(attempt),
+                                   bind.ctx())) {
       if (params.stats != nullptr) params.stats->restarts = attempt;
+      bind.finalize(params.stats);
       return;
     }
     alpha *= 2.0;
@@ -200,81 +281,22 @@ void semisort_hashed_inplace(std::span<Record> data, GetKey get_key = {},
       "parsemi::semisort_hashed_inplace: bucket overflow persisted after retries");
 }
 
-// General semisort for arbitrary key types: hashes keys to 64 bits,
-// semisorts the (hash, index) tags, then repairs any run of equal hashes
-// that actually mixes distinct keys (a hash collision) by regrouping the
-// run locally with the real equality test. With any reasonable 64-bit hash
-// the repair never triggers (collision probability ≲ n²/2⁶⁵), so this is
-// the Las-Vegas conversion of §3 — but unlike a restart it also terminates
-// under an adversarially bad user hash (at O(run·distinct) local cost).
-//
-//   KeyFn : T → K       (key of a record)
-//   HashFn: K → uint64  (64-bit hash; parsemi::hash64 / hash_string / …)
-//   Eq    : K × K → bool (defaults to operator==)
-template <typename T, typename KeyFn, typename HashFn,
-          typename Eq = std::equal_to<>>
-std::vector<T> semisort(std::span<const T> in, KeyFn key_of, HashFn hash,
-                        Eq eq = {}, const semisort_params& params = {}) {
-  size_t n = in.size();
-  struct tagged {        // key-first layout → key-CAS fast path applies
-    uint64_t key;        // hashed key
-    uint64_t index;      // position in `in`
-  };
-  std::vector<tagged> tags(n);
-  parallel_for(0, n, [&](size_t i) {
-    tags[i] = tagged{hash(key_of(in[i])), static_cast<uint64_t>(i)};
-  });
-  std::vector<tagged> sorted(n);
-  semisort_hashed(std::span<const tagged>(tags), std::span<tagged>(sorted),
-                  [](const tagged& t) { return t.key; }, params);
-
-  // Hash-collision repair. Equal hashes are contiguous after the semisort,
-  // so it suffices to examine each run of equal hashes: if it holds more
-  // than one distinct key, stably regroup it in place by real equality.
-  if (n > 0) {
-    std::vector<size_t> run_start = pack_index(n, [&](size_t i) {
-      return i == 0 || sorted[i].key != sorted[i - 1].key;
-    });
-    run_start.push_back(n);
-    parallel_for(
-        0, run_start.size() - 1,
-        [&](size_t r) {
-          size_t lo = run_start[r], hi = run_start[r + 1];
-          if (hi - lo < 2) return;
-          const auto& first_key = key_of(in[sorted[lo].index]);
-          bool mixed = false;
-          for (size_t i = lo + 1; i < hi; ++i) {
-            if (!eq(key_of(in[sorted[i].index]), first_key)) {
-              mixed = true;
-              break;
-            }
-          }
-          if (!mixed) return;
-          // Distinct keys collided in the hash: bucket the run's elements
-          // by equality classes (first-seen order keeps this stable).
-          std::vector<std::vector<tagged>> classes;
-          for (size_t i = lo; i < hi; ++i) {
-            const auto& k = key_of(in[sorted[i].index]);
-            bool placed = false;
-            for (auto& cls : classes) {
-              if (eq(k, key_of(in[cls.front().index]))) {
-                cls.push_back(sorted[i]);
-                placed = true;
-                break;
-              }
-            }
-            if (!placed) classes.push_back({sorted[i]});
-          }
-          size_t w = lo;
-          for (auto& cls : classes)
-            for (auto& t : cls) sorted[w++] = t;
-        },
-        1);
-  }
-
-  std::vector<T> out(n);
-  parallel_for(0, n, [&](size_t i) { out[i] = in[sorted[i].index]; });
+// Convenience: returns the semisorted copy. Copy-constructs the output
+// (memcpy for trivial records — no zero initialization) and reorders it in
+// place: the pipeline consumes its input during the scatter before the pack
+// writes the output, so the aliasing is safe, and every Las-Vegas retry
+// triggers before the pack while the copy is still intact.
+template <typename Record, typename GetKey = record_key>
+std::vector<Record> semisort_hashed(std::span<const Record> in,
+                                    GetKey get_key = {},
+                                    const semisort_params& params = {}) {
+  std::vector<Record> out(in.begin(), in.end());
+  semisort_hashed_inplace(std::span<Record>(out), get_key, params);
   return out;
 }
 
 }  // namespace parsemi
+
+// The general-key `semisort` (and the tag-semisort-permute spine every
+// derived operator shares) builds on semisort_hashed; see that header.
+#include "core/tag_semisort.h"

@@ -1,0 +1,160 @@
+// The tag-semisort-permute spine shared by every derived operator.
+//
+// group_by_index, collect_reduce, count_by_key, map_reduce's shuffle,
+// equi_join, group_aggregate and the general-key `semisort` all follow the
+// same shape: tag every position with (hashed key, index), semisort the
+// 16-byte tags (key-first layout → the scatter's key-CAS fast path), then
+// read the grouping off the sorted tags — optionally repairing 64-bit hash
+// collisions and permuting records. This header is that shape, written
+// once: the tag arrays live in the operator's pipeline_context arena, the
+// inner semisort runs on the same context (so one warm context makes the
+// whole derived operator allocation-free apart from its actual output),
+// and the operator's stats cover the tags plus the inner semisort.
+//
+// Included from core/semisort.h (which it also includes — #pragma once
+// makes either inclusion order work); user code never needs it directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/params.h"
+#include "core/pipeline_context.h"
+#include "core/semisort.h"
+#include "primitives/pack.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+namespace internal {
+
+// The 16-byte tag: hashed key first so the scatter claims slots with a
+// single key-CAS.
+struct key_tag {
+  uint64_t key;
+  uint64_t index;  // position in the operator's input
+};
+
+// Tags positions [0, n) with (key_at(i), i) and semisorts the tags through
+// `ctx`. Returns the sorted tags, arena-backed — valid until the caller's
+// context_binding frame is rewound. `key_at(i)` must return the position's
+// 64-bit hashed key.
+template <typename KeyAt>
+std::span<key_tag> tag_semisort(size_t n, KeyAt&& key_at,
+                                const semisort_params& params,
+                                pipeline_context& ctx) {
+  if (n == 0) return {};
+  key_tag* tags = ctx.scratch.alloc<key_tag>(n);
+  parallel_for(0, n, [&](size_t i) {
+    tags[i] = key_tag{key_at(i), static_cast<uint64_t>(i)};
+  });
+  key_tag* sorted = ctx.scratch.alloc<key_tag>(n);
+  semisort_params inner = params;
+  inner.context = &ctx;  // re-enter the same arena (depth > 0: not owner)
+  inner.workspace = nullptr;
+  semisort_hashed(std::span<const key_tag>(tags, n),
+                  std::span<key_tag>(sorted, n),
+                  [](const key_tag& t) { return t.key; }, inner);
+  return std::span<key_tag>(sorted, n);
+}
+
+// Repairs runs of equal hashes that mix distinct real keys (a 64-bit hash
+// collision, probability ≲ n²/2⁶⁵): each mixed run is stably regrouped in
+// place by the real equality test. `eq_at(a, b)` compares the *original
+// records* at input positions a and b. With any reasonable hash this scans
+// the run boundaries and touches nothing — but unlike a restart it also
+// terminates under an adversarially bad user hash, at O(run·distinct)
+// local cost, making the general semisort Las Vegas rather than Monte
+// Carlo.
+template <typename EqAt>
+void repair_hash_collisions(std::span<key_tag> sorted, EqAt&& eq_at,
+                            pipeline_context& ctx) {
+  size_t n = sorted.size();
+  if (n < 2) return;
+  arena_scope scope(ctx.scratch);
+  std::span<size_t> run_start = pack_index_arena(
+      n,
+      [&](size_t i) { return i == 0 || sorted[i].key != sorted[i - 1].key; },
+      ctx.scratch);
+  size_t runs = run_start.size();
+  parallel_for(
+      0, runs,
+      [&](size_t r) {
+        size_t lo = run_start[r], hi = r + 1 < runs ? run_start[r + 1] : n;
+        if (hi - lo < 2) return;
+        bool mixed = false;
+        for (size_t i = lo + 1; i < hi && !mixed; ++i)
+          mixed = !eq_at(sorted[i].index, sorted[lo].index);
+        if (!mixed) return;
+        // Distinct keys collided in the hash. Cold path (never taken with
+        // an honest 64-bit hash), so plain heap vectors are fine here:
+        // bucket the run's tags into equality classes, first-seen order.
+        std::vector<std::vector<key_tag>> classes;
+        for (size_t i = lo; i < hi; ++i) {
+          bool placed = false;
+          for (auto& cls : classes) {
+            if (eq_at(sorted[i].index, cls.front().index)) {
+              cls.push_back(sorted[i]);
+              placed = true;
+              break;
+            }
+          }
+          if (!placed) classes.push_back({sorted[i]});
+        }
+        size_t w = lo;
+        for (auto& cls : classes)
+          for (auto& t : cls) sorted[w++] = t;
+      },
+      1);
+}
+
+// Group-start positions over sorted (and, if needed, repaired) tags:
+// position i opens a group iff its hash differs from its predecessor's or
+// the real keys differ (`eq_at` as above; pass tag_eq_trivial when hash
+// equality IS key equality, i.e. pre-hashed 64-bit keys). Arena-backed, no
+// trailing n sentinel — callers append that to their own output vectors.
+template <typename EqAt>
+std::span<size_t> tag_group_starts(std::span<const key_tag> sorted,
+                                   pipeline_context& ctx, EqAt&& eq_at) {
+  return pack_index_arena(
+      sorted.size(),
+      [&](size_t i) {
+        return i == 0 || sorted[i].key != sorted[i - 1].key ||
+               !eq_at(sorted[i].index, sorted[i - 1].index);
+      },
+      ctx.scratch);
+}
+
+inline constexpr auto tag_eq_trivial = [](uint64_t, uint64_t) { return true; };
+
+}  // namespace internal
+
+// General semisort for arbitrary key types: hashes keys to 64 bits, runs
+// the tag spine, repairs hash collisions, and permutes the input into a
+// fresh vector.
+//
+//   KeyFn : T → K       (key of a record)
+//   HashFn: K → uint64  (64-bit hash; parsemi::hash64 / hash_string / …)
+//   Eq    : K × K → bool (defaults to operator==)
+template <typename T, typename KeyFn, typename HashFn,
+          typename Eq = std::equal_to<>>
+std::vector<T> semisort(std::span<const T> in, KeyFn key_of, HashFn hash,
+                        Eq eq = {}, const semisort_params& params = {}) {
+  size_t n = in.size();
+  std::vector<T> out(n);
+  if (n == 0) return out;
+  internal::context_binding bind(params);
+  std::span<internal::key_tag> sorted = internal::tag_semisort(
+      n, [&](size_t i) { return hash(key_of(in[i])); }, params, bind.ctx());
+  internal::repair_hash_collisions(
+      sorted,
+      [&](uint64_t a, uint64_t b) { return eq(key_of(in[a]), key_of(in[b])); },
+      bind.ctx());
+  parallel_for(0, n, [&](size_t i) { out[i] = in[sorted[i].index]; });
+  bind.finalize(params.stats);
+  return out;
+}
+
+}  // namespace parsemi

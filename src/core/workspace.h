@@ -1,52 +1,73 @@
-// Reusable scratch memory for repeated semisort calls.
+// Reusable scratch memory for repeated semisort calls — deprecated shim.
 //
-// The bucket backing array (~2-3 slots per record) is the largest
-// allocation of a semisort run; allocating it fresh every call costs a
-// kernel round-trip plus a page-fault per 4 KiB on first touch — measurably
-// seconds at 10^8-record scale. Callers that semisort repeatedly (the
-// MapReduce shuffle, a join pipeline, the benches) can pass a
-// `semisort_workspace` via `semisort_params::workspace` to recycle the
-// buffer across calls, including across different record types and sizes.
+// `semisort_workspace` predates the arena-backed pipeline_context
+// (core/pipeline_context.h, core/arena.h) and recycled only the bucket
+// backing array. It is now a thin wrapper over a pipeline_context: passing
+// a workspace via `semisort_params::workspace` recycles *all* pipeline
+// scratch, not just the slots, with the same geometric-growth contract the
+// old class documented. New code should hold a pipeline_context and set
+// `semisort_params::context` instead; `acquire` remains for out-of-pipeline
+// callers that used the workspace as a general scratch buffer.
+//
+// The old implementation also had a growth bug this rewrite retires: each
+// `acquire` compared the *byte* size of the new request against capacity
+// and reallocated (discarding the old buffer) whenever it grew, so a
+// request mix that crept upward — say a large record type alternating with
+// a smaller one — could realloc on every other call instead of settling
+// into the documented "grow ≥ 1.5× or not at all" policy. The arena grows
+// by appending blocks sized ≥ the current total, so capacity at least
+// doubles per heap allocation and the number of heap allocations over any
+// request sequence is logarithmic in the final capacity
+// (tests/workspace_test.cpp: GeometricPolicyAcrossTypeMix).
 //
 // Not thread-safe: one workspace per concurrent semisort call.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <memory>
-#include <type_traits>
+
+#include "core/pipeline_context.h"
 
 namespace parsemi {
 
 class semisort_workspace {
  public:
   // A buffer for `count` objects of trivial type T. Contents are
-  // unspecified (like default_init_buffer); grows geometrically and is
-  // retained until the workspace is destroyed or shrink() is called.
+  // unspecified; capacity grows geometrically and is retained until the
+  // workspace is destroyed or shrink() is called. Single-tenant like the
+  // original: each acquire invalidates the previous one's buffer, and the
+  // returned buffer is one contiguous region — callers may use up to
+  // capacity_bytes() of it when they asked for that much (the poison test
+  // does exactly that). When a request outgrows the largest arena block,
+  // the chain is consolidated into a single block grown ≥ 1.5×; that
+  // happens at most a logarithmic number of times over any request
+  // sequence, preserving the documented "grow ≥ 1.5× or not at all"
+  // policy.
   template <typename T>
   T* acquire(size_t count) {
-    static_assert(std::is_trivially_default_constructible_v<T> &&
-                  std::is_trivially_destructible_v<T>);
-    static_assert(alignof(T) <= alignof(std::max_align_t));
+    arena& a = ctx_.scratch;
     size_t bytes = count * sizeof(T);
-    if (bytes > capacity_) {
-      size_t grown = capacity_ + capacity_ / 2;
-      bytes = bytes > grown ? bytes : grown;
-      buffer_ = std::make_unique_for_overwrite<std::byte[]>(bytes);
-      capacity_ = bytes;
+    a.reset();
+    if (bytes > a.max_block_bytes()) {
+      size_t target =
+          std::max(bytes, a.capacity_bytes() + a.capacity_bytes() / 2);
+      a.release();
+      a.alloc<std::byte>(target);
+      a.reset();
     }
-    return reinterpret_cast<T*>(buffer_.get());
+    return a.alloc<T>(count);
   }
 
-  size_t capacity_bytes() const { return capacity_; }
+  size_t capacity_bytes() const { return ctx_.scratch.capacity_bytes(); }
 
-  void shrink() {
-    buffer_.reset();
-    capacity_ = 0;
-  }
+  void shrink() { ctx_.scratch.release(); }
+
+  // The context the semisort pipeline actually runs on when this workspace
+  // is passed via semisort_params::workspace.
+  pipeline_context& context() { return ctx_; }
 
  private:
-  std::unique_ptr<std::byte[]> buffer_;  // new[] ⇒ max_align_t-aligned
-  size_t capacity_ = 0;
+  pipeline_context ctx_;
 };
 
 }  // namespace parsemi

@@ -14,6 +14,13 @@
 // key values. Values are a trivially-copyable payload written only by the
 // CAS winner of a slot, so they need no atomics (the phase barrier
 // publishes them).
+//
+// Storage is plain arrays accessed through std::atomic_ref, so the backing
+// memory can either be owned (heap) or borrowed from an arena
+// (core/arena.h) — the semisort's bucket plan uses the arena form, which
+// makes table construction allocation-free in steady state. The borrowed
+// memory must outlive the table (the pipeline's checkpoint discipline
+// guarantees it).
 #pragma once
 
 #include <atomic>
@@ -21,9 +28,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
+#include "core/arena.h"
 #include "hashing/hash64.h"
 
 namespace parsemi {
@@ -35,11 +45,60 @@ class phase_concurrent_hash_table {
 
   // Capacity for at least `expected` distinct keys at ≤ 50% load.
   explicit phase_concurrent_hash_table(size_t expected) {
-    size_t cap = std::bit_ceil(std::max<size_t>(16, expected * 2));
-    mask_ = cap - 1;
-    keys_ = std::vector<std::atomic<uint64_t>>(cap);
-    for (auto& k : keys_) k.store(kEmpty, std::memory_order_relaxed);
-    values_.resize(cap);
+    size_t cap = capacity_for(expected);
+    owned_keys_ = std::make_unique_for_overwrite<uint64_t[]>(cap);
+    owned_values_ = std::make_unique<Value[]>(cap);
+    keys_ = owned_keys_.get();
+    values_ = owned_values_.get();
+    clear_keys(cap);
+  }
+
+  // Arena-backed variant: storage borrowed from `scratch`, no heap traffic.
+  // Valid until the caller's checkpoint is rewound.
+  phase_concurrent_hash_table(size_t expected, arena& scratch) {
+    static_assert(std::is_trivially_default_constructible_v<Value> &&
+                      std::is_trivially_destructible_v<Value>,
+                  "arena-backed table requires a trivial Value");
+    size_t cap = capacity_for(expected);
+    keys_ = scratch.alloc<uint64_t>(cap);
+    values_ = scratch.alloc<Value>(cap);
+    clear_keys(cap);
+  }
+
+  phase_concurrent_hash_table(phase_concurrent_hash_table&& other) noexcept
+      : mask_(other.mask_),
+        keys_(other.keys_),
+        values_(other.values_),
+        owned_keys_(std::move(other.owned_keys_)),
+        owned_values_(std::move(other.owned_values_)),
+        sentinel_value_(other.sentinel_value_) {
+    // Atomics are not movable; the sentinel flag is quiescent between
+    // phases, which is the only time a table may be moved.
+    sentinel_present_.store(
+        other.sentinel_present_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.keys_ = nullptr;
+    other.values_ = nullptr;
+    other.mask_ = 0;
+  }
+
+  phase_concurrent_hash_table& operator=(
+      phase_concurrent_hash_table&& other) noexcept {
+    if (this != &other) {
+      mask_ = other.mask_;
+      keys_ = other.keys_;
+      values_ = other.values_;
+      owned_keys_ = std::move(other.owned_keys_);
+      owned_values_ = std::move(other.owned_values_);
+      sentinel_value_ = other.sentinel_value_;
+      sentinel_present_.store(
+          other.sentinel_present_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      other.keys_ = nullptr;
+      other.values_ = nullptr;
+      other.mask_ = 0;
+    }
+    return *this;
   }
 
   size_t capacity() const { return mask_ + 1; }
@@ -60,12 +119,12 @@ class phase_concurrent_hash_table {
     }
     size_t i = murmur_mix64(key) & mask_;
     for (size_t probes = 0; probes <= mask_; ++probes) {
-      uint64_t slot = keys_[i].load(std::memory_order_acquire);
+      uint64_t slot = key_at(i).load(std::memory_order_acquire);
       if (slot == key) return false;
       if (slot == kEmpty) {
         uint64_t expected = kEmpty;
-        if (keys_[i].compare_exchange_strong(expected, key,
-                                             std::memory_order_acq_rel)) {
+        if (key_at(i).compare_exchange_strong(expected, key,
+                                              std::memory_order_acq_rel)) {
           values_[i] = value;
           return true;
         }
@@ -89,7 +148,7 @@ class phase_concurrent_hash_table {
     }
     size_t i = murmur_mix64(key) & mask_;
     for (size_t probes = 0; probes <= mask_; ++probes) {
-      uint64_t slot = keys_[i].load(std::memory_order_relaxed);
+      uint64_t slot = key_at(i).load(std::memory_order_relaxed);
       if (slot == key) return values_[i];
       if (slot == kEmpty) return std::nullopt;
       i = (i + 1) & mask_;
@@ -101,8 +160,8 @@ class phase_concurrent_hash_table {
 
   bool empty_table() const {
     if (sentinel_present_.load(std::memory_order_relaxed)) return false;
-    for (const auto& k : keys_)
-      if (k.load(std::memory_order_relaxed) != kEmpty) return false;
+    for (size_t i = 0; i <= mask_; ++i)
+      if (key_at(i).load(std::memory_order_relaxed) != kEmpty) return false;
     return true;
   }
 
@@ -114,7 +173,7 @@ class phase_concurrent_hash_table {
     if (sentinel_present_.load(std::memory_order_relaxed))
       f(kEmpty, sentinel_value_);
     for (size_t i = 0; i <= mask_; ++i) {
-      uint64_t k = keys_[i].load(std::memory_order_relaxed);
+      uint64_t k = key_at(i).load(std::memory_order_relaxed);
       if (k != kEmpty) f(k, values_[i]);
     }
   }
@@ -125,7 +184,7 @@ class phase_concurrent_hash_table {
     if (sentinel_present_.load(std::memory_order_relaxed))
       f(kEmpty, sentinel_value_);
     for (size_t i = 0; i <= mask_; ++i) {
-      uint64_t k = keys_[i].load(std::memory_order_relaxed);
+      uint64_t k = key_at(i).load(std::memory_order_relaxed);
       if (k != kEmpty) f(k, values_[i]);
     }
   }
@@ -133,14 +192,30 @@ class phase_concurrent_hash_table {
   size_t size() const {
     size_t count = sentinel_present_.load(std::memory_order_relaxed) ? 1 : 0;
     for (size_t i = 0; i <= mask_; ++i)
-      if (keys_[i].load(std::memory_order_relaxed) != kEmpty) ++count;
+      if (key_at(i).load(std::memory_order_relaxed) != kEmpty) ++count;
     return count;
   }
 
  private:
-  size_t mask_;
-  std::vector<std::atomic<uint64_t>> keys_;
-  std::vector<Value> values_;
+  static size_t capacity_for(size_t expected) {
+    return std::bit_ceil(std::max<size_t>(16, expected * 2));
+  }
+
+  void clear_keys(size_t cap) {
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i)
+      key_at(i).store(kEmpty, std::memory_order_relaxed);
+  }
+
+  std::atomic_ref<uint64_t> key_at(size_t i) const {
+    return std::atomic_ref<uint64_t>(keys_[i]);
+  }
+
+  size_t mask_ = 0;
+  uint64_t* keys_ = nullptr;   // owned_keys_ or arena memory
+  Value* values_ = nullptr;
+  std::unique_ptr<uint64_t[]> owned_keys_;
+  std::unique_ptr<Value[]> owned_values_;
   std::atomic<bool> sentinel_present_{false};
   Value sentinel_value_{};
 };

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.h"
 #include "primitives/scan.h"
 #include "scheduler/scheduler.h"
 
@@ -50,6 +51,29 @@ std::vector<Index> pack_index(size_t n, Pred&& pred) {
   });
   size_t total = scan_exclusive_inplace(std::span<size_t>(offsets));
   std::vector<Index> out(total);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t pos = offsets[b];
+    for (size_t i = lo; i < hi; ++i)
+      if (pred(i)) out[pos++] = static_cast<Index>(i);
+  });
+  return out;
+}
+
+// Arena-backed pack_index: the result span (and a small per-block offset
+// scratch that precedes it) live in `scratch` and stay valid until the
+// caller's checkpoint is rewound. Used by the allocation-free pipeline.
+template <typename Index = size_t, typename Pred>
+std::span<Index> pack_index_arena(size_t n, Pred&& pred, arena& scratch) {
+  size_t block = internal::scan_block_size(n);
+  size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+  std::span<size_t> offsets(scratch.alloc<size_t>(num_blocks), num_blocks);
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t count = 0;
+    for (size_t i = lo; i < hi; ++i) count += pred(i) ? 1 : 0;
+    offsets[b] = count;
+  });
+  size_t total = scan_exclusive_inplace(offsets);
+  std::span<Index> out(scratch.alloc<Index>(total), total);
   parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
     size_t pos = offsets[b];
     for (size_t i = lo; i < hi; ++i)

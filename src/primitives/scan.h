@@ -20,12 +20,20 @@ inline size_t scan_block_size(size_t n) {
   size_t p = static_cast<size_t>(num_workers());
   return std::max<size_t>(2048, n / (8 * p) + 1);
 }
+// Blocks the parallel scan/reduce paths would use for `n` elements — the
+// scratch sizing contract of the span-scratch overloads below.
+inline size_t scan_num_blocks(size_t n) {
+  size_t block = scan_block_size(n);
+  return n == 0 ? 0 : (n + block - 1) / block;
+}
 }  // namespace internal
 
-// Exclusive in-place scan with +: a[i] becomes init + sum of a[0..i).
-// Returns the total (init + sum of all input elements).
+// Exclusive in-place scan with + over caller-provided per-block scratch
+// (≥ internal::scan_num_blocks(a.size()) elements; only needed when the
+// parallel path runs). a[i] becomes init + sum of a[0..i); returns the
+// total. The arena-backed pipeline uses this form to stay allocation-free.
 template <typename T>
-T scan_exclusive_inplace(std::span<T> a, T init = T{}) {
+T scan_exclusive_inplace(std::span<T> a, T init, std::span<T> block_sums) {
   size_t n = a.size();
   if (n == 0) return init;
   size_t block = internal::scan_block_size(n);
@@ -39,7 +47,7 @@ T scan_exclusive_inplace(std::span<T> a, T init = T{}) {
     return running;
   }
   size_t num_blocks = (n + block - 1) / block;
-  std::vector<T> sums(num_blocks);
+  std::span<T> sums = block_sums.first(num_blocks);
   parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
     T s{};
     for (size_t i = lo; i < hi; ++i) s += a[i];
@@ -60,6 +68,19 @@ T scan_exclusive_inplace(std::span<T> a, T init = T{}) {
     }
   });
   return running;
+}
+
+// Exclusive in-place scan with +: a[i] becomes init + sum of a[0..i).
+// Returns the total (init + sum of all input elements).
+template <typename T>
+T scan_exclusive_inplace(std::span<T> a, T init = T{}) {
+  size_t n = a.size();
+  if (n == 0) return init;
+  size_t block = internal::scan_block_size(n);
+  if (n <= block || num_workers() == 1)
+    return scan_exclusive_inplace(a, init, std::span<T>{});
+  std::vector<T> sums(internal::scan_num_blocks(n));
+  return scan_exclusive_inplace(a, init, std::span<T>(sums));
 }
 
 // Inclusive in-place scan: a[i] becomes init + sum of a[0..i].
@@ -114,13 +135,14 @@ T reduce(std::span<const T> a, T init = T{}) {
   return s;
 }
 
-// Parallel reduction of f(i) over i in [0, n) with a commutative +.
+// Parallel reduction of f(i) over [0, n) into caller-provided per-block
+// scratch (≥ internal::scan_num_blocks(n) elements).
 template <typename T, typename F>
-T reduce_index(size_t n, F&& f, T init = T{}) {
+T reduce_index(size_t n, F&& f, T init, std::span<T> block_sums) {
   if (n == 0) return init;
   size_t block = internal::scan_block_size(n);
   size_t num_blocks = (n + block - 1) / block;
-  std::vector<T> sums(num_blocks);
+  std::span<T> sums = block_sums.first(num_blocks);
   parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
     T s{};
     for (size_t i = lo; i < hi; ++i) s += f(i);
@@ -129,6 +151,14 @@ T reduce_index(size_t n, F&& f, T init = T{}) {
   T s = init;
   for (T v : sums) s += v;
   return s;
+}
+
+// Parallel reduction of f(i) over i in [0, n) with a commutative +.
+template <typename T, typename F>
+T reduce_index(size_t n, F&& f, T init = T{}) {
+  if (n == 0) return init;
+  std::vector<T> sums(internal::scan_num_blocks(n));
+  return reduce_index(n, f, init, std::span<T>(sums));
 }
 
 // Parallel count of indices i in [0, n) satisfying pred(i).

@@ -17,7 +17,10 @@ class default_init_buffer {
                 std::is_trivially_destructible_v<T>);
 
  public:
-  explicit default_init_buffer(size_t n) : data_(new T[n]), size_(n) {}
+  // n == 0 stays off the heap entirely (`new T[0]` is a real allocation);
+  // arena-backed callers construct an empty buffer on every run.
+  explicit default_init_buffer(size_t n)
+      : data_(n > 0 ? new T[n] : nullptr), size_(n) {}
 
   T& operator[](size_t i) { return data_[i]; }
   const T& operator[](size_t i) const { return data_[i]; }

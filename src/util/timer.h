@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -42,11 +43,14 @@ class phase_timer {
  public:
   void start() { watch_.reset(); }
 
-  void record(std::string name) {
+  // string_view so the steady-state path (phase already known) never
+  // materializes a std::string — the semisort's zero-allocation contract
+  // covers its phase-timing instrumentation too.
+  void record(std::string_view name) {
     double t = watch_.lap();
     for (auto& [n, total] : phases_)
       if (n == name) { total += t; return; }
-    phases_.emplace_back(std::move(name), t);
+    phases_.emplace_back(std::string(name), t);
   }
 
   const std::vector<std::pair<std::string, double>>& phases() const {

@@ -15,6 +15,14 @@ namespace {
 
 semisort_params default_params() { return semisort_params{}; }
 
+// Shared context: plans are arena-backed views, so they must not outlive
+// the context they were built on. One static context keeps every test's
+// plan valid for the binary's lifetime (the arena only grows).
+pipeline_context& test_ctx() {
+  static pipeline_context ctx;
+  return ctx;
+}
+
 // A sorted sample with the given (key, count) runs.
 std::vector<uint64_t> make_sample(
     std::vector<std::pair<uint64_t, size_t>> runs) {
@@ -29,7 +37,7 @@ TEST(BucketPlan, HeavyKeysDetectedAtDelta) {
   auto params = default_params();  // delta = 16
   auto sample = make_sample({{hash64(1), 16}, {hash64(2), 15}, {hash64(3), 40}});
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
   EXPECT_EQ(plan.num_heavy, 2u);  // counts 16 and 40; 15 is light
   EXPECT_TRUE(plan.heavy_table->contains(hash64(1)));
   EXPECT_FALSE(plan.heavy_table->contains(hash64(2)));
@@ -40,7 +48,7 @@ TEST(BucketPlan, NoSampleMeansNoHeavyAndOneLightBucketUniverse) {
   auto params = default_params();
   std::vector<uint64_t> empty;
   auto plan = build_bucket_plan(std::span<const uint64_t>(empty), 1000, params,
-                                params.alpha);
+                                params.alpha, test_ctx());
   EXPECT_EQ(plan.num_heavy, 0u);
   EXPECT_GE(plan.num_light, 1u);
   // Every possible key maps to a valid bucket with nonzero capacity.
@@ -58,7 +66,7 @@ TEST(BucketPlan, EveryRangeIsMapped) {
   for (int i = 0; i < 500; ++i) runs.push_back({r.next(), 1 + r.next_below(30)});
   auto sample = make_sample(runs);
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
   size_t num_ranges = plan.range_to_light_bucket.size();
   for (size_t range = 0; range < num_ranges; ++range) {
     ASSERT_LT(plan.range_to_light_bucket[range], plan.num_light) << range;
@@ -77,7 +85,7 @@ TEST(BucketPlan, OffsetsAreMonotoneAndCoverTotal) {
   auto params = default_params();
   auto sample = make_sample({{hash64(1), 100}, {hash64(2), 5}, {hash64(3), 20}});
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
   ASSERT_EQ(plan.bucket_offset.size(), plan.num_buckets() + 1);
   EXPECT_EQ(plan.bucket_offset.front(), 0u);
   for (size_t b = 0; b < plan.num_buckets(); ++b)
@@ -91,7 +99,7 @@ TEST(BucketPlan, HeavyBucketCapacityCoversEstimate) {
   size_t n = 1 << 24;
   auto sample = make_sample({{hash64(9), 300}});
   auto plan =
-      build_bucket_plan(std::span<const uint64_t>(sample), n, params, params.alpha);
+      build_bucket_plan(std::span<const uint64_t>(sample), n, params, params.alpha, test_ctx());
   ASSERT_EQ(plan.num_heavy, 1u);
   size_t cap = plan.bucket_offset[1] - plan.bucket_offset[0];
   EXPECT_GE(static_cast<double>(cap),
@@ -108,11 +116,11 @@ TEST(BucketPlan, MergingReducesLightBucketCount) {
   auto sample = make_sample(runs);
 
   auto merged = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
-                                  params, params.alpha);
+                                  params, params.alpha, test_ctx());
   semisort_params no_merge = params;
   no_merge.merge_light_buckets = false;
   auto unmerged = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
-                                    no_merge, no_merge.alpha);
+                                    no_merge, no_merge.alpha, test_ctx());
   EXPECT_EQ(unmerged.num_light, params.num_hash_ranges);
   EXPECT_LT(merged.num_light, unmerged.num_light / 10);
   // Merging also shrinks total allocated space (the §4 point of it).
@@ -126,7 +134,7 @@ TEST(BucketPlan, MergedBucketsMeetDeltaSampleThreshold) {
   for (int i = 0; i < 5000; ++i) runs.push_back({r.next(), 1});
   auto sample = make_sample(runs);
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 22,
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
 
   // Re-derive each light bucket's sample count and check ≥ δ (all buckets;
   // the trailing bucket is folded into its predecessor when under-full).
@@ -147,7 +155,7 @@ TEST(BucketPlan, BucketOfRoutesHeavyAndLight) {
   auto params = default_params();
   auto sample = make_sample({{hash64(1), 50}, {hash64(2), 2}});
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
   ASSERT_EQ(plan.num_heavy, 1u);
   EXPECT_LT(plan.bucket_of(hash64(1)), plan.num_heavy);    // heavy
   EXPECT_GE(plan.bucket_of(hash64(2)), plan.num_heavy);    // light
@@ -159,7 +167,7 @@ TEST(BucketPlan, PowerOfTwoCapacitiesWhenEnabled) {
   params.round_to_pow2 = true;  // the paper's rounding (default off here)
   auto sample = make_sample({{hash64(1), 64}, {hash64(2), 17}});
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), 1 << 20,
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
   for (size_t b = 0; b < plan.num_buckets(); ++b) {
     size_t cap = plan.bucket_offset[b + 1] - plan.bucket_offset[b];
     ASSERT_EQ(cap & (cap - 1), 0u) << "bucket " << b;

@@ -1,0 +1,267 @@
+// Stress for the derived-operator layer: every operator built on the
+// tag-semisort spine is hammered through ONE shared pipeline_context across
+// all trials, with varying sizes, key distributions, worker counts, and
+// perturbed schedules. An arena rewind bug, a use-after-reset, or a stale
+// checkpoint shows up here as a wrong result — and as a fault in the
+// asan × stress CI lane, which runs this suite under AddressSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/collect_reduce.h"
+#include "core/group_by.h"
+#include "core/mapreduce.h"
+#include "core/relational.h"
+#include "core/semisort.h"
+#include "hashing/hash64.h"
+#include "proptest.h"
+#include "scheduler/sched_fuzz.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+// The context every trial shares — reuse across wildly different workloads
+// is exactly what this suite exists to break.
+pipeline_context& shared_ctx() {
+  static pipeline_context ctx;
+  return ctx;
+}
+
+struct ops_config {
+  size_t n = 1000;
+  uint64_t distinct = 100;
+  int op = 0;  // 0..7, see property()
+  int workers = 0;
+  uint64_t fuzz_seed = 0;  // 0 = schedule untouched
+  uint64_t data_seed = 1;
+};
+
+ops_config generate(rng& r) {
+  ops_config c;
+  c.n = proptest::log_uniform_u64(r, 64, 60000);
+  c.distinct = proptest::log_uniform_u64(r, 1, c.n);
+  c.op = static_cast<int>(r.next_below(8));
+  c.workers = static_cast<int>(proptest::pick(r, {0, 0, 2, 4}));
+  c.fuzz_seed = proptest::chance(r, 0.4) ? r.next() | 1 : 0;
+  c.data_seed = r.next();
+  return c;
+}
+
+std::string describe(const ops_config& c) {
+  std::ostringstream os;
+  os << "op=" << c.op << " n=" << c.n << " distinct=" << c.distinct
+     << " workers=" << c.workers << " fuzz=" << c.fuzz_seed << " data="
+     << c.data_seed;
+  return os.str();
+}
+
+std::vector<ops_config> shrink(const ops_config& c) {
+  std::vector<ops_config> out;
+  for (uint64_t n : proptest::shrink_toward(c.n, 64)) {
+    ops_config d = c;
+    d.n = n;
+    d.distinct = std::min<uint64_t>(d.distinct, n);
+    out.push_back(d);
+  }
+  for (uint64_t k : proptest::shrink_toward(c.distinct, 1)) {
+    ops_config d = c;
+    d.distinct = k;
+    out.push_back(d);
+  }
+  if (c.fuzz_seed != 0) {
+    ops_config d = c;
+    d.fuzz_seed = 0;
+    out.push_back(d);
+  }
+  if (c.workers != 0) {
+    ops_config d = c;
+    d.workers = 0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+// (key, value) rows with keys hashed from [0, distinct).
+std::vector<record> make_rows(const ops_config& c, uint64_t salt) {
+  std::vector<record> rows(c.n);
+  rng r(splitmix64(c.data_seed + salt));
+  for (size_t i = 0; i < c.n; ++i)
+    rows[i] = {hash64(r.next_below(c.distinct)), r.next_below(1000)};
+  return rows;
+}
+
+std::unordered_map<uint64_t, size_t> key_counts(std::span<const record> rows) {
+  std::unordered_map<uint64_t, size_t> m;
+  for (const auto& r : rows) m[r.key]++;
+  return m;
+}
+
+std::optional<std::string> property(const ops_config& c) {
+  proptest::scoped_workers workers(c.workers);
+  sched_fuzz::scoped_enable fuzz(c.fuzz_seed);
+  semisort_params params;
+  params.context = &shared_ctx();
+  auto rows = make_rows(c, 0);
+  auto counts = key_counts(rows);
+
+  switch (c.op) {
+    case 0: {  // group_by_hashed
+      auto g = group_by_hashed(std::span<const record>(rows), record_key{},
+                               params);
+      if (g.records.size() != rows.size()) return "group_by_hashed lost rows";
+      if (g.num_groups() != counts.size()) return "wrong group count";
+      for (size_t grp = 0; grp < g.num_groups(); ++grp) {
+        auto span = g.group(grp);
+        for (const auto& r : span)
+          if (r.key != span.front().key) return "mixed keys in a group";
+        if (counts[span.front().key] != span.size())
+          return "group size mismatch";
+      }
+      return std::nullopt;
+    }
+    case 1: {  // group_by_index
+      auto g = group_by_index(std::span<const record>(rows), record_key{},
+                              params);
+      if (g.order.size() != rows.size()) return "order is not a permutation";
+      std::vector<bool> seen(rows.size(), false);
+      for (size_t i : g.order) {
+        if (i >= rows.size() || seen[i]) return "order is not a permutation";
+        seen[i] = true;
+      }
+      if (g.num_groups() != counts.size()) return "wrong group count";
+      for (size_t grp = 0; grp < g.num_groups(); ++grp) {
+        auto idx = g.group(grp);
+        uint64_t key = rows[idx.front()].key;
+        for (size_t i : idx)
+          if (rows[i].key != key) return "mixed keys in a group";
+        if (counts[key] != idx.size()) return "group size mismatch";
+      }
+      return std::nullopt;
+    }
+    case 2: {  // collect_reduce (sum of payloads per key)
+      std::vector<std::pair<uint64_t, uint64_t>> pairs(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i)
+        pairs[i] = {rows[i].key, rows[i].payload};
+      std::unordered_map<uint64_t, uint64_t> expect;
+      for (auto& [k, v] : pairs) expect[k] += v;
+      auto got = collect_reduce(
+          std::span<const std::pair<uint64_t, uint64_t>>(pairs),
+          [](uint64_t k) { return k; },
+          [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0},
+          std::equal_to<>{}, params);
+      if (got.size() != expect.size()) return "wrong distinct-key count";
+      for (auto& [k, v] : got) {
+        auto it = expect.find(k);
+        if (it == expect.end() || it->second != v) return "wrong reduced sum";
+      }
+      return std::nullopt;
+    }
+    case 3: {  // count_by_key
+      std::vector<uint64_t> keys(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) keys[i] = rows[i].key;
+      auto got = count_by_key(std::span<const uint64_t>(keys),
+                              [](uint64_t k) { return k; }, std::equal_to<>{},
+                              params);
+      if (got.size() != counts.size()) return "wrong distinct-key count";
+      for (auto& [k, cnt] : got) {
+        auto it = counts.find(k);
+        if (it == counts.end() || it->second != cnt) return "wrong count";
+      }
+      return std::nullopt;
+    }
+    case 4: {  // equi_join — keep groups small so the output stays linear
+      ops_config jc = c;
+      jc.distinct = std::max<uint64_t>(c.distinct, c.n / 8 + 1);
+      auto left = make_rows(jc, 1);
+      auto right = make_rows(jc, 2);
+      auto lc = key_counts(left);
+      auto rc = key_counts(right);
+      size_t expect_rows = 0;
+      for (auto& [k, cnt] : lc) {
+        auto it = rc.find(k);
+        if (it != rc.end()) expect_rows += cnt * it->second;
+      }
+      auto out = equi_join(
+          std::span<const record>(left), std::span<const record>(right),
+          [](const record& r) { return r.key; },
+          [](const record& r) { return r.payload; },
+          [](const record& r) { return r.key; },
+          [](const record& r) { return r.payload; }, params);
+      if (out.size() != expect_rows) return "wrong join cardinality";
+      for (const auto& row : out) {
+        if (lc.find(row.key) == lc.end() || rc.find(row.key) == rc.end())
+          return "join row with unmatched key";
+      }
+      return std::nullopt;
+    }
+    case 5: {  // group_aggregate (sum)
+      std::unordered_map<uint64_t, uint64_t> expect;
+      for (const auto& r : rows) expect[r.key] += r.payload;
+      auto got = group_aggregate(
+          std::span<const record>(rows), record_key{},
+          [](const record& r) { return r.payload; }, uint64_t{0},
+          [](uint64_t acc, uint64_t v) { return acc + v; }, params);
+      if (got.size() != expect.size()) return "wrong distinct-key count";
+      for (auto& [k, v] : got) {
+        auto it = expect.find(k);
+        if (it == expect.end() || it->second != v) return "wrong aggregate";
+      }
+      return std::nullopt;
+    }
+    case 6: {  // map_reduce: word-count over the payloads
+      std::unordered_map<uint64_t, uint64_t> expect;
+      for (const auto& r : rows) expect[r.payload % 37]++;
+      auto got = map_reduce<record, uint64_t, uint64_t, uint64_t>(
+          std::span<const record>(rows),
+          [](const record& r, auto emit) { emit(r.payload % 37, uint64_t{1}); },
+          [](uint64_t k) { return hash64(k); },
+          [](uint64_t acc, const uint64_t& v) { return acc + v; }, uint64_t{0},
+          std::equal_to<>{}, params);
+      if (got.size() != expect.size()) return "wrong distinct-key count";
+      for (auto& [k, v] : got) {
+        auto it = expect.find(k);
+        if (it == expect.end() || it->second != v) return "wrong word count";
+      }
+      return std::nullopt;
+    }
+    default: {  // generic semisort with a colliding hash → repair path
+      std::vector<uint64_t> keys(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i)
+        keys[i] = rows[i].payload % std::max<uint64_t>(1, c.distinct);
+      auto out = semisort(
+          std::span<const uint64_t>(keys), [](uint64_t k) { return k; },
+          [](uint64_t k) { return hash64(k % 17); },  // deliberate collisions
+          std::equal_to<>{}, params);
+      if (out.size() != keys.size()) return "semisort lost elements";
+      std::unordered_map<uint64_t, size_t> expect;
+      for (uint64_t k : keys) expect[k]++;
+      std::unordered_map<uint64_t, size_t> got;
+      size_t runs = 0;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i == 0 || out[i] != out[i - 1]) ++runs;
+        got[out[i]]++;
+      }
+      if (got != expect) return "semisort changed the multiset";
+      // multiset equality + one run per distinct key ⇒ equal keys contiguous
+      if (runs != expect.size()) return "equal keys not contiguous";
+      return std::nullopt;
+    }
+  }
+}
+
+TEST(DerivedOpsStress, SharedContextAcrossAllOperators) {
+  proptest::options opt;
+  opt.trials = 24;
+  opt.seed = 0xD0B5ED0C5ULL;
+  proptest::check<ops_config>(generate, property, shrink, describe, opt);
+}
+
+}  // namespace
+}  // namespace parsemi

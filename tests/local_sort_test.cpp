@@ -20,6 +20,13 @@
 namespace parsemi {
 namespace {
 
+// Shared context: plans are arena-backed views tied to the context they
+// were built on; a static one keeps them valid for the binary's lifetime.
+pipeline_context& test_ctx() {
+  static pipeline_context ctx;
+  return ctx;
+}
+
 struct pipeline_state {
   bucket_plan plan;
   scatter_storage<record> storage;
@@ -34,7 +41,7 @@ pipeline_state run_through_scatter(size_t n, distribution_spec spec,
                             params.sampling_p, base);
   radix_sort_u64(std::span<uint64_t>(sample));
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), n, params,
-                                params.alpha);
+                                params.alpha, test_ctx());
   scatter_storage<record> storage(plan.total_slots, rng(5).next() | 1);
   auto result = scatter_records(std::span<const record>(in), storage, plan,
                                 record_key{}, params, rng(7));
@@ -44,9 +51,9 @@ pipeline_state run_through_scatter(size_t n, distribution_spec spec,
 
 void check_local_sort(semisort_params params, distribution_spec spec) {
   auto st = run_through_scatter(120000, spec, params);
-  std::vector<size_t> light_counts;
+  std::vector<size_t> light_counts(st.plan.num_light);
   local_sort_light_buckets(st.storage, st.plan, record_key{}, params,
-                           light_counts);
+                           std::span<size_t>(light_counts));
   ASSERT_EQ(light_counts.size(), st.plan.num_light);
 
   size_t total_light = 0;
@@ -121,9 +128,9 @@ TEST(LocalSort, HeavyOnlyInputHasEmptyLightBuckets) {
   auto st = run_through_scatter(100000, {distribution_kind::uniform, 10},
                                 params);
   EXPECT_GT(st.plan.num_heavy, 0u);
-  std::vector<size_t> light_counts;
+  std::vector<size_t> light_counts(st.plan.num_light);
   local_sort_light_buckets(st.storage, st.plan, record_key{}, params,
-                           light_counts);
+                           std::span<size_t>(light_counts));
   size_t total_light = 0;
   for (size_t c : light_counts) total_light += c;
   EXPECT_EQ(total_light, 0u);  // N=10 keys all heavy at n=100000

@@ -19,6 +19,13 @@
 namespace parsemi {
 namespace {
 
+// Shared context: plans are arena-backed views tied to the context they
+// were built on; a static one keeps them valid for the binary's lifetime.
+pipeline_context& test_ctx() {
+  static pipeline_context ctx;
+  return ctx;
+}
+
 // Runs phases 1-4 and returns everything pack_output needs.
 struct staged {
   bucket_plan plan;
@@ -35,13 +42,14 @@ staged stage_through_phase4(size_t n, distribution_spec spec,
                             params.sampling_p, base);
   radix_sort_u64(std::span<uint64_t>(sample));
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), n, params,
-                                params.alpha);
+                                params.alpha, test_ctx());
   scatter_storage<record> storage(plan.total_slots, rng(5).next() | 1);
   EXPECT_EQ(scatter_records(std::span<const record>(in), storage, plan,
                             record_key{}, params, rng(9)),
             scatter_result::ok);
-  std::vector<size_t> light_counts;
-  local_sort_light_buckets(storage, plan, record_key{}, params, light_counts);
+  std::vector<size_t> light_counts(plan.num_light);
+  local_sort_light_buckets(storage, plan, record_key{}, params,
+                           std::span<size_t>(light_counts));
   return {std::move(plan), std::move(storage), std::move(light_counts),
           std::move(in)};
 }
@@ -51,7 +59,7 @@ void check_pack(size_t n, distribution_spec spec, semisort_params params) {
   std::vector<record> out(n);
   size_t written = pack_output(st.storage, st.plan,
                                std::span<const size_t>(st.light_counts),
-                               std::span<record>(out), params);
+                               std::span<record>(out), params, test_ctx());
   ASSERT_EQ(written, n);
   EXPECT_TRUE(testing::valid_semisort(out, st.input));
 }
@@ -91,7 +99,7 @@ TEST(PackPhase, HeavyRecordsKeepBucketContiguity) {
   std::vector<record> out(100000);
   size_t written = pack_output(st.storage, st.plan,
                                std::span<const size_t>(st.light_counts),
-                               std::span<record>(out), params);
+                               std::span<record>(out), params, test_ctx());
   ASSERT_EQ(written, out.size());
   EXPECT_TRUE(testing::records_semisorted(out));
 }
@@ -106,7 +114,7 @@ TEST(PackPhase, EmptyLightRegion) {
   std::vector<record> out(60000);
   EXPECT_EQ(pack_output(st.storage, st.plan,
                         std::span<const size_t>(st.light_counts),
-                        std::span<record>(out), semisort_params{}),
+                        std::span<record>(out), semisort_params{}, test_ctx()),
             60000u);
   EXPECT_TRUE(testing::valid_semisort(out, st.input));
 }

@@ -118,11 +118,12 @@ std::pair<scatter_result, std::optional<std::string>> scatter_once(
     const std::vector<Record>& in, GetKey get_key, Less less,
     const semisort_params& params, double alpha) {
   rng base(99);
+  pipeline_context ctx;  // owns the plan's arena storage for this call
   auto sample = sample_keys(std::span<const Record>(in), get_key,
                             params.sampling_p, base);
   radix_sort_u64(std::span<uint64_t>(sample));
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), in.size(),
-                                params, alpha);
+                                params, alpha, ctx);
   scatter_storage<Record> storage(plan.total_slots, rng(5).next() | 1);
   auto result = scatter_records(std::span<const Record>(in), storage, plan,
                                 get_key, params, rng(7));

@@ -31,6 +31,13 @@ struct odd_key {
 
 static_assert(scatter_storage<record>::kKeyCas,
               "record must take the key-CAS fast path");
+
+// Shared context: plans are arena-backed views tied to the context they
+// were built on; a static one keeps them valid for the binary's lifetime.
+pipeline_context& test_ctx() {
+  static pipeline_context ctx;
+  return ctx;
+}
 static_assert(!scatter_storage<odd_record>::kKeyCas,
               "odd_record must take the flag-array path");
 
@@ -43,7 +50,7 @@ std::pair<bucket_plan, std::vector<Record>> plan_for(
                             params.sampling_p, base);
   radix_sort_u64(std::span<uint64_t>(sample));
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), in.size(),
-                                params, params.alpha);
+                                params, params.alpha, test_ctx());
   return {std::move(plan), in};
 }
 
@@ -136,7 +143,8 @@ TEST(Scatter, OverflowDetectedWhenBucketsTooSmall) {
                             params.sampling_p, base);
   radix_sort_u64(std::span<uint64_t>(sample));
   auto plan =
-      build_bucket_plan(std::span<const uint64_t>(sample), 64, params, 0.01);
+      build_bucket_plan(std::span<const uint64_t>(sample), 64, params, 0.01,
+                        test_ctx());
   ASSERT_LT(plan.total_slots, 100000u);
 
   auto many = generate_records(100000, {distribution_kind::uniform, 4}, 7);

@@ -26,6 +26,26 @@ TEST(Workspace, AcquireGrowsGeometrically) {
   EXPECT_GE(ws.capacity_bytes(), first + first / 2);
 }
 
+TEST(Workspace, GeometricPolicyAcrossTypeMix) {
+  // Regression for the retired growth defect: a request sequence that
+  // alternates element types while creeping upward in byte size used to
+  // reallocate (and discard the buffer) on every growing call. Capacity now
+  // at least doubles per heap block, so the block count stays logarithmic
+  // in the final size no matter how the requests creep.
+  semisort_workspace ws;
+  size_t count = 64;
+  for (int i = 0; i < 400; ++i) {
+    if (i % 2 == 0) {
+      ws.acquire<uint64_t>(count);            // 8·count bytes
+    } else {
+      ws.acquire<uint32_t>(2 * count + 1);    // 8·count + 4 bytes, other type
+    }
+    count += 7;
+  }
+  EXPECT_LE(ws.context().scratch.heap_block_count(), 16u);
+  EXPECT_GE(ws.capacity_bytes(), 8 * (count - 7));
+}
+
 TEST(Workspace, ShrinkReleases) {
   semisort_workspace ws;
   ws.acquire<uint32_t>(1000);
