@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -167,10 +168,39 @@ inline std::string dist_label(const distribution_spec& spec) {
   return spec.name() + "(" + fmt_count(spec.parameter) + ")";
 }
 
+// JSON string escaping for the sidecar writer: quotes, backslashes, and
+// control characters. Everything bench_json interpolates into a string
+// position — values, keys, the bench name — goes through here, so labels
+// like `zipf("s")` or a path with backslashes can't corrupt the sidecar.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // Machine-readable sidecar: mirrors a bench's results into BENCH_<name>.json
 // in the working directory so the memory-plan telemetry (peak scratch,
-// arena allocations, restarts, probe histogram) can be diffed across runs
-// without scraping the ASCII tables.
+// arena allocations, restarts, scatter path + per-path histograms) can be
+// diffed across runs — and parsed by scripts/bench_compare.py with a strict
+// JSON parser — without scraping the ASCII tables.
 class bench_json {
  public:
   explicit bench_json(std::string name) : name_(std::move(name)) {}
@@ -180,18 +210,19 @@ class bench_json {
     row& field(const char* key, const std::string& v) {
       add_key(key);
       body_ += '"';
-      for (char c : v) {
-        if (c == '"' || c == '\\') body_ += '\\';
-        body_ += c;
-      }
+      body_ += json_escape(v);
       body_ += '"';
       return *this;
     }
     row& field(const char* key, double v) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.6g", v);
       add_key(key);
-      body_ += buf;
+      if (!std::isfinite(v)) {
+        body_ += "null";  // JSON has no NaN/Infinity tokens
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        body_ += buf;
+      }
       return *this;
     }
     row& field(const char* key, size_t v) {
@@ -214,16 +245,47 @@ class bench_json {
       body_ += ']';
       return *this;
     }
-    // The memory plan and scatter telemetry of one semisort run.
+    // Nested metric map, built with the same field API. An empty map
+    // renders as `{}` — valid JSON — so path-conditional metric groups
+    // (probe stats on the CAS path, flush stats on the buffered path) can
+    // be emitted unconditionally.
+    row& field_object(const char* key, const row& obj) {
+      add_key(key);
+      body_ += '{';
+      body_ += obj.body_;
+      body_ += '}';
+      return *this;
+    }
+    // The memory plan and scatter telemetry of one semisort run. The probe
+    // and flush metric maps are emitted only for the path they describe
+    // (empty `{}` otherwise), keeping the table2/table3 breakdown sidecars
+    // meaningful whatever path the run selected.
     row& stats(const semisort_stats& s) {
       field("restarts", s.restarts);
       field("peak_scratch_bytes", s.peak_scratch_bytes);
       field("arena_allocs", s.arena_allocs);
       field("scratch_capacity_bytes", s.scratch_capacity_bytes);
       field("slots_per_record", s.slots_per_record());
-      field("max_probe", s.max_probe);
-      field("mean_probe_len", s.mean_probe_len());
-      field_array("probe_hist", s.probe_hist.data(), s.probe_hist.size());
+      field("scatter_path", std::string(to_string(s.scatter_path_used)));
+      field("scatter_atomics_saved", s.scatter_atomics_saved);
+      row probe;
+      if (s.scatter_path_used == scatter_path::cas) {
+        probe.field("max_probe", s.max_probe);
+        probe.field("mean_probe_len", s.mean_probe_len());
+        probe.field_array("probe_hist", s.probe_hist.data(),
+                          s.probe_hist.size());
+      }
+      field_object("probe", probe);
+      row buffered;
+      if (s.scatter_path_used == scatter_path::buffered) {
+        buffered.field("flushes", s.scatter_flushes);
+        buffered.field("chunk_claims", s.scatter_chunk_claims);
+        buffered.field("bytes_staged", s.scatter_bytes_staged);
+        buffered.field("mean_flush_records", s.mean_flush_records());
+        buffered.field_array("flush_hist", s.flush_hist.data(),
+                             s.flush_hist.size());
+      }
+      field_object("buffered", buffered);
       return *this;
     }
 
@@ -232,7 +294,7 @@ class bench_json {
     void add_key(const char* key) {
       if (!body_.empty()) body_ += ", ";
       body_ += '"';
-      body_ += key;
+      body_ += json_escape(key);
       body_ += "\": ";
     }
     std::string body_;
@@ -251,7 +313,8 @@ class bench_json {
       std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", name_.c_str());
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n",
+                 json_escape(name_).c_str());
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "  {%s}%s\n", rows_[i].body_.c_str(),
                    i + 1 < rows_.size() ? "," : "");

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Differential gate over the scatter-path ablation sidecar.
+
+Runs bench/ablation_scatter_paths (or takes an existing
+BENCH_ablation_scatter_paths.json via --json) and checks, per distribution,
+that every scatter path produced the SAME output: identical order-insensitive
+multiset checksum and identical key-run count. A path that corrupts, drops,
+or mis-groups records differs here even when it "looks fast".
+
+The sidecar is parsed with the standard json module, so this doubles as a
+strict validity check on the bench JSON writer (escaping, empty metric
+maps, non-finite floats).
+
+Usage:
+  scripts/bench_compare.py --bench build/bench/ablation_scatter_paths \
+      [--n 200000] [--reps 1] [-- extra bench args]
+  scripts/bench_compare.py --json BENCH_ablation_scatter_paths.json
+
+Exit status: 0 when all paths agree (and every expected path is present for
+every distribution), 1 on any mismatch.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+EXPECTED_PATHS = {"cas", "buffered", "blocked", "adaptive"}
+VALID_USED = {"cas", "buffered", "blocked"}
+
+
+def run_bench(bench, n, reps, extra):
+    """Run the bench in a scratch directory; return the parsed sidecar."""
+    with tempfile.TemporaryDirectory(prefix="bench_compare.") as tmp:
+        cmd = [os.path.abspath(bench), "--n", str(n), "--reps", str(reps)]
+        cmd += extra
+        print("+ " + " ".join(cmd), file=sys.stderr)
+        subprocess.run(cmd, cwd=tmp, check=True)
+        path = os.path.join(tmp, "BENCH_ablation_scatter_paths.json")
+        with open(path) as f:
+            return json.load(f)
+
+
+def check(doc):
+    rows = doc.get("rows", [])
+    if not rows:
+        print("FAIL: sidecar has no rows", file=sys.stderr)
+        return False
+    by_dist = {}
+    ok = True
+    for row in rows:
+        for key in ("distribution", "path_requested", "checksum", "key_runs",
+                    "scatter_path"):
+            if key not in row:
+                print(f"FAIL: row missing '{key}': {row}", file=sys.stderr)
+                return False
+        if row["scatter_path"] not in VALID_USED:
+            print(f"FAIL: unknown scatter_path '{row['scatter_path']}'",
+                  file=sys.stderr)
+            ok = False
+        by_dist.setdefault(row["distribution"], []).append(row)
+
+    for dist, dist_rows in sorted(by_dist.items()):
+        seen = {r["path_requested"] for r in dist_rows}
+        missing = EXPECTED_PATHS - seen
+        if missing:
+            print(f"FAIL: {dist}: paths never ran: {sorted(missing)}",
+                  file=sys.stderr)
+            ok = False
+        baseline = next((r for r in dist_rows
+                         if r["path_requested"] == "cas"), dist_rows[0])
+        for r in dist_rows:
+            if r["checksum"] != baseline["checksum"]:
+                print(f"FAIL: {dist}: path {r['path_requested']} checksum "
+                      f"{r['checksum']} != cas baseline "
+                      f"{baseline['checksum']}", file=sys.stderr)
+                ok = False
+            if r["key_runs"] != baseline["key_runs"]:
+                print(f"FAIL: {dist}: path {r['path_requested']} key_runs "
+                      f"{r['key_runs']} != cas baseline "
+                      f"{baseline['key_runs']}", file=sys.stderr)
+                ok = False
+        if ok:
+            print(f"ok: {dist}: {len(dist_rows)} rows agree "
+                  f"(checksum {baseline['checksum']}, "
+                  f"{baseline['key_runs']} key runs)")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", help="path to the ablation_scatter_paths binary")
+    ap.add_argument("--json", help="pre-existing sidecar to check instead")
+    ap.add_argument("--n", type=int, default=200000)
+    ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument("extra", nargs="*",
+                    help="extra args forwarded to the bench binary")
+    args = ap.parse_args()
+
+    if args.json:
+        with open(args.json) as f:
+            doc = json.load(f)
+    elif args.bench:
+        doc = run_bench(args.bench, args.n, args.reps, args.extra)
+    else:
+        ap.error("one of --bench or --json is required")
+
+    if not check(doc):
+        sys.exit(1)
+    print("all scatter paths agree")
+
+
+if __name__ == "__main__":
+    main()

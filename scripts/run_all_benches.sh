@@ -28,6 +28,7 @@ run table5_other_sorts "$@"
 run seq_baselines "$@"
 run rr_comparison "$@"
 run optimized_radix "$@"
+run ablation_scatter_paths "$@"
 
 for ab in ablation_params ablation_probing ablation_estimator ablation_primitives; do
   echo "=== $ab ==="

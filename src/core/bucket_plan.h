@@ -55,6 +55,11 @@ struct bucket_plan {
 
   size_t num_buckets() const { return num_heavy + num_light; }
 
+  // Slot capacity of bucket b — every scatter path's overflow bound.
+  size_t capacity_of(size_t b) const {
+    return bucket_offset[b + 1] - bucket_offset[b];
+  }
+
   // Bucket id for a hashed key (valid once heavy_table's insert phase is
   // over, i.e. any time after build_bucket_plan returns).
   size_t bucket_of(uint64_t key) const {

@@ -19,6 +19,23 @@
 
 namespace parsemi {
 
+// The Phase 3 placement strategy a run actually executed (core/scatter.h):
+//   cas      — one CAS + probe per record (the paper's §4 scatter)
+//   buffered — per-worker write-combining buffers, slot ranges claimed in
+//              chunks with one fetch_add per flushed run
+//   blocked  — two-pass per-block counting with contention-free placement
+//              (zero atomics; Wu et al. 2023 style)
+enum class scatter_path : uint8_t { cas, buffered, blocked };
+
+inline const char* to_string(scatter_path p) {
+  switch (p) {
+    case scatter_path::cas: return "cas";
+    case scatter_path::buffered: return "buffered";
+    case scatter_path::blocked: return "blocked";
+  }
+  return "?";
+}
+
 // Counters filled by a semisort run when requested — benches use these for
 // the "% heavy records" columns of Table 1 / Figure 1 and for memory
 // accounting in the ablations.
@@ -40,14 +57,37 @@ struct semisort_stats {
   size_t arena_allocs = 0;
   size_t scratch_capacity_bytes = 0;
 
-  // Scatter probe-length histogram (successful attempt only): bin b counts
-  // records whose claim took a probe distance d with bit_width(d) == b,
-  // i.e. bin 0 ⇔ first slot free, bin 1 ⇔ d = 1, bin 2 ⇔ d ∈ {2,3}, …;
-  // the last bin also absorbs anything longer. Filled only when stats are
-  // requested (one relaxed atomic increment per record).
+  // --- scatter engine telemetry (successful attempt only) ---
+  // Which Phase 3 path the run executed (adaptive selection or override).
+  scatter_path scatter_path_used = scatter_path::cas;
+
+  // Scatter probe-length histogram — CAS path only: bin b counts records
+  // whose claim took a probe distance d with bit_width(d) == b, i.e.
+  // bin 0 ⇔ first slot free, bin 1 ⇔ d = 1, bin 2 ⇔ d ∈ {2,3}, …; the last
+  // bin also absorbs anything longer. Filled only when stats are requested
+  // (one relaxed atomic increment per record); all-zero on the buffered and
+  // blocked paths, which never probe.
   static constexpr size_t kProbeBins = 16;
   std::array<size_t, kProbeBins> probe_hist{};
   size_t max_probe = 0;  // longest observed probe distance
+
+  // Buffered-path counters (all-zero on the other paths): buffer flushes
+  // executed, slot-range claims issued (one fetch_add per same-bucket run
+  // within a flush), and bytes staged through the write buffers. The blocked
+  // path reports zero claims — its placement needs no atomics at all.
+  // scatter_atomics_saved is the per-record atomic ops the CAS path would
+  // have issued minus the claims this path did issue (zero on the CAS path).
+  size_t scatter_flushes = 0;
+  size_t scatter_chunk_claims = 0;
+  size_t scatter_bytes_staged = 0;
+  size_t scatter_atomics_saved = 0;
+
+  // Flush-size histogram — buffered path only: bin b counts flushes that
+  // wrote k records with bit_width(k) == b (last bin absorbs the rest).
+  // Full-buffer flushes land in the top occupied bin; the tail below it is
+  // the end-of-scatter drain of partially filled buffers.
+  static constexpr size_t kFlushBins = 16;
+  std::array<size_t, kFlushBins> flush_hist{};
 
   double heavy_fraction() const {
     return n == 0 ? 0.0 : static_cast<double>(heavy_records) / static_cast<double>(n);
@@ -66,6 +106,16 @@ struct semisort_stats {
       sum += static_cast<double>(probe_hist[b]) * (lo + hi) / 2.0;
     }
     return records == 0 ? 0.0 : sum / records;
+  }
+  double mean_flush_records() const {
+    double flushes = 0, sum = 0;
+    for (size_t b = 0; b < kFlushBins; ++b) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(size_t{1} << (b - 1));
+      double hi = b == 0 ? 0.0 : static_cast<double>((size_t{1} << b) - 1);
+      flushes += static_cast<double>(flush_hist[b]);
+      sum += static_cast<double>(flush_hist[b]) * (lo + hi) / 2.0;
+    }
+    return flushes == 0 ? 0.0 : sum / flushes;
   }
 };
 
@@ -111,6 +161,16 @@ struct semisort_params {
     random    // §3 step 6b: fresh random location per round
   };
   probe_strategy probing = probe_strategy::linear;
+
+  // Phase 3 placement engine. `adaptive` picks a scatter_path per run from
+  // n, the bucket count, and the record size (core/scatter.h's
+  // choose_scatter_path); the other values pin one path for ablation. The
+  // PARSEMI_SCATTER_PATH environment variable (cas / buffered / blocked /
+  // adaptive) overrides this knob without recompiling. `probing` applies to
+  // the CAS path only; requesting random probing pins the adaptive choice
+  // to CAS so the ablation measures what it names.
+  enum class scatter_strategy : uint8_t { adaptive, cas, buffered, blocked };
+  scatter_strategy scatter_with = scatter_strategy::adaptive;
 
   size_t pack_intervals = 1000;     // §4 Phase 5 heavy-region pack intervals
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "core/arena.h"
+#include "scheduler/scheduler.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -39,6 +40,20 @@ struct pipeline_context {
 
   void record_phase(const char* name) {
     if (timings != nullptr) timings->record(name);
+  }
+
+  // Worker-partitioned scratch (the scatter engine's write buffers): a phase
+  // provisions num_scratch_lanes() lanes and each task writes only to
+  // scratch_lane(). Pool workers map to their id; the extra last lane covers
+  // a foreign (non-pool) caller, which the scheduler runs sequentially, so
+  // at most one thread ever occupies it per call.
+  static size_t num_scratch_lanes() {
+    return static_cast<size_t>(num_workers()) + 1;
+  }
+  static size_t scratch_lane() {
+    int id = worker_id();
+    return id < 0 ? static_cast<size_t>(num_workers())
+                  : static_cast<size_t>(id);
   }
 };
 

@@ -148,13 +148,15 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
                                        params, alpha, ctx);
   if (pt != nullptr) pt->record("construct buckets");
 
-  // Phase 3 — scatter.
+  // Phase 3 — scatter (path chosen per run; see core/scatter.h).
+  scatter_path path =
+      choose_scatter_path(n, plan.num_buckets(), sizeof(Record), params);
   scatter_storage<Record> storage(plan.total_slots, base.split(2).next() | 1,
                                   &ctx);
-  scatter_probe_stats probe_stats;
-  scatter_result result =
-      scatter_records(in, storage, plan, get_key, params, base.split(3),
-                      params.stats != nullptr ? &probe_stats : nullptr);
+  scatter_telemetry telem;
+  scatter_result result = scatter_dispatch(
+      path, in, storage, plan, get_key, params, base.split(3), ctx,
+      params.stats != nullptr ? &telem : nullptr);
   if (pt != nullptr) pt->record("scatter");
   if (result != scatter_result::ok) return false;
 
@@ -186,9 +188,32 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
                     return plan.heavy_table->contains(get_key(in[i])) ? 1 : 0;
                   },
                   0, sums);
-    for (size_t b = 0; b < semisort_stats::kProbeBins; ++b)
-      st.probe_hist[b] = probe_stats.bins[b].load(std::memory_order_relaxed);
-    st.max_probe = probe_stats.max.load(std::memory_order_relaxed);
+    // Path-conditional telemetry: the probe histogram only means something
+    // on the CAS path, the flush counters only on the buffered path; the
+    // blocked path's whole point is issuing zero placement atomics.
+    st.scatter_path_used = path;
+    switch (path) {
+      case scatter_path::cas:
+        for (size_t b = 0; b < semisort_stats::kProbeBins; ++b)
+          st.probe_hist[b] =
+              telem.probe.bins[b].load(std::memory_order_relaxed);
+        st.max_probe = telem.probe.max.load(std::memory_order_relaxed);
+        break;
+      case scatter_path::buffered:
+        st.scatter_flushes = telem.flushes.load(std::memory_order_relaxed);
+        st.scatter_chunk_claims =
+            telem.chunk_claims.load(std::memory_order_relaxed);
+        st.scatter_bytes_staged =
+            telem.bytes_staged.load(std::memory_order_relaxed);
+        for (size_t b = 0; b < semisort_stats::kFlushBins; ++b)
+          st.flush_hist[b] =
+              telem.flush_hist[b].load(std::memory_order_relaxed);
+        st.scatter_atomics_saved = n - st.scatter_chunk_claims;
+        break;
+      case scatter_path::blocked:
+        st.scatter_atomics_saved = n;  // placement issued no atomics
+        break;
+    }
   }
 
   // Phase 5 — pack.

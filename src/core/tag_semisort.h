@@ -37,6 +37,13 @@ struct key_tag {
   uint64_t index;  // position in the operator's input
 };
 
+// The tag layout must stay key-CAS eligible: every derived operator's inner
+// semisort rides the scatter engine (the tag call below copies the caller's
+// params, so scatter_with and the adaptive path selection flow through
+// unchanged), and at 16 trivially-copyable bytes the tags qualify for all
+// of its fast claiming/placement variants.
+static_assert(key_cas_eligible<key_tag>());
+
 // Tags positions [0, n) with (key_at(i), i) and semisorts the tags through
 // `ctx`. Returns the sorted tags, arena-backed — valid until the caller's
 // context_binding frame is rewound. `key_at(i)` must return the position's

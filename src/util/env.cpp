@@ -14,6 +14,11 @@ std::optional<int64_t> env_int(const char* name) {
   return static_cast<int64_t>(parsed);
 }
 
+const char* env_cstr(const char* name) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? nullptr : v;
+}
+
 arg_parser::arg_parser(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

@@ -12,6 +12,12 @@ namespace parsemi {
 // Reads an integer environment variable; nullopt when unset or unparsable.
 std::optional<int64_t> env_int(const char* name);
 
+// Reads a string environment variable; nullptr when unset or empty. Returns
+// the process environment's own storage — no allocation, so hot paths (the
+// scatter-path override checked once per semisort call) can use it without
+// breaking the zero-heap steady state.
+const char* env_cstr(const char* name);
+
 // Minimal `--flag value` / `--flag=value` / `--switch` parser. Unrecognized
 // positional arguments are kept in `positional()`.
 class arg_parser {

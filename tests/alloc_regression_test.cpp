@@ -101,6 +101,48 @@ TEST(AllocRegression, SteadyStateSemisortMakesZeroHeapAllocations) {
   EXPECT_LE(stats.peak_scratch_bytes, stats.scratch_capacity_bytes);
 }
 
+TEST(AllocRegression, EveryScatterPathZeroHeapAllocationsWhenWarm) {
+  // The engine's buffered and blocked paths provision their write buffers /
+  // count matrices from the same arena — forcing each path (plus the env
+  // override's getenv probe) must stay zero-alloc once the shared context
+  // has seen all of them.
+  size_t n = 120000;
+  auto in = generate_records(n, {distribution_kind::exponential, 1000}, 43);
+  std::vector<record> out(n);
+
+  pipeline_context ctx;
+  semisort_stats stats;
+  semisort_params params;
+  params.context = &ctx;
+  params.stats = &stats;
+
+  constexpr semisort_params::scatter_strategy kStrategies[] = {
+      semisort_params::scatter_strategy::cas,
+      semisort_params::scatter_strategy::buffered,
+      semisort_params::scatter_strategy::blocked,
+      semisort_params::scatter_strategy::adaptive,
+  };
+  for (auto s : kStrategies) {  // warm every path's footprint
+    params.scatter_with = s;
+    for (int round = 0; round < 2; ++round) {
+      semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                      record_key{}, params);
+    }
+  }
+  for (auto s : kStrategies) {
+    params.scatter_with = s;
+    size_t before = heap_allocs();
+    for (int round = 0; round < 3; ++round) {
+      semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                      record_key{}, params);
+    }
+    size_t leaked = heap_allocs() - before;
+    EXPECT_EQ(leaked, 0u) << leaked << " heap allocations on scatter strategy "
+                          << static_cast<int>(s);
+    EXPECT_TRUE(testing::valid_semisort(out, in));
+  }
+}
+
 TEST(AllocRegression, SteadyStateInplaceSemisortMakesZeroHeapAllocations) {
   size_t n = 100000;
   auto base_input =

@@ -59,6 +59,8 @@ semisort_params random_params(rng& r) {
   p.alpha = 1.05 + r.next_double() * 0.5;
   p.probing = r.next_below(4) == 0 ? semisort_params::probe_strategy::random
                                    : semisort_params::probe_strategy::linear;
+  p.scatter_with =
+      static_cast<semisort_params::scatter_strategy>(r.next_below(4));
   p.local_sort = r.next_below(4) == 0
                      ? semisort_params::local_sort_algo::counting_by_naming
                      : semisort_params::local_sort_algo::std_sort;
@@ -91,6 +93,7 @@ std::string describe(const diff_config& c) {
      << " probe=" << (c.params.probing == semisort_params::probe_strategy::random
                           ? "random"
                           : "linear")
+     << " scatter=" << static_cast<int>(c.params.scatter_with)
      << " localsort=" << static_cast<int>(c.params.local_sort)
      << " samplesort=" << static_cast<int>(c.params.sample_sort_with)
      << " pack=" << c.params.pack_intervals << " ws=" << c.use_workspace
@@ -145,6 +148,9 @@ std::vector<diff_config> shrink(const diff_config& c) {
   semisort_params dflt;
   if (c.params.probing != dflt.probing) {
     with([&](diff_config& d) { d.params.probing = dflt.probing; });
+  }
+  if (c.params.scatter_with != dflt.scatter_with) {
+    with([&](diff_config& d) { d.params.scatter_with = dflt.scatter_with; });
   }
   if (c.params.local_sort != dflt.local_sort) {
     with([&](diff_config& d) { d.params.local_sort = dflt.local_sort; });

@@ -1,8 +1,9 @@
-// Interleaving stress for the CAS scatter (Phase 3): random configurations
-// of size, skew, bucket sizing, probing mode, worker count and schedule-fuzz
-// seed, in both slot-claiming modes (key-CAS for `record`, flag-array for a
+// Interleaving stress for the scatter engine (Phase 3): random
+// configurations of size, skew, bucket sizing, placement path (CAS /
+// buffered / blocked), probing mode, worker count and schedule-fuzz seed,
+// in both slot-claiming modes (key-CAS for `record`, flag-array for a
 // record type without a leading key word). Undersized plans must report
-// overflow cleanly and succeed once capacity is restored.
+// overflow cleanly on every path and succeed once capacity is restored.
 #include "core/scatter.h"
 
 #include <gtest/gtest.h>
@@ -37,6 +38,7 @@ struct scatter_config {
   size_t n = 0;
   uint64_t vocab = 1;
   double alpha = 1.3;
+  int path = 0;  // scatter_path: 0 = cas, 1 = buffered, 2 = blocked
   bool random_probing = false;
   bool flag_mode = false;  // scatter odd_record instead of record
   uint64_t data_seed = 0;
@@ -44,9 +46,14 @@ struct scatter_config {
   int workers = 0;
 };
 
+scatter_path path_of(const scatter_config& c) {
+  return static_cast<scatter_path>(c.path);
+}
+
 std::string describe(const scatter_config& c) {
   std::ostringstream os;
   os << "n=" << c.n << " vocab=" << c.vocab << " alpha=" << c.alpha
+     << " path=" << to_string(path_of(c))
      << " probe=" << (c.random_probing ? "random" : "linear")
      << " mode=" << (c.flag_mode ? "flag" : "key-cas")
      << " data_seed=" << c.data_seed << " sched_seed=" << c.sched_seed
@@ -62,6 +69,7 @@ scatter_config generate(rng& r) {
   // overflow → retry path under a perturbed schedule.
   c.alpha = proptest::chance(r, 0.25) ? proptest::uniform_real(r, 0.01, 0.5)
                                       : proptest::uniform_real(r, 1.1, 1.6);
+  c.path = proptest::pick(r, {0, 1, 2});
   c.random_probing = proptest::chance(r, 0.3);
   c.flag_mode = proptest::chance(r, 0.4);
   c.data_seed = r.next();
@@ -75,6 +83,11 @@ std::vector<scatter_config> shrink(const scatter_config& c) {
   if (c.sched_seed != 0) {
     scatter_config d = c;
     d.sched_seed = 0;
+    out.push_back(d);
+  }
+  if (c.path != 0) {
+    scatter_config d = c;
+    d.path = 0;  // toward the long-standing CAS baseline
     out.push_back(d);
   }
   if (c.workers != 1) {
@@ -116,17 +129,17 @@ std::vector<scatter_config> shrink(const scatter_config& c) {
 template <typename Record, typename GetKey, typename Less>
 std::pair<scatter_result, std::optional<std::string>> scatter_once(
     const std::vector<Record>& in, GetKey get_key, Less less,
-    const semisort_params& params, double alpha) {
+    const semisort_params& params, double alpha, scatter_path path) {
   rng base(99);
-  pipeline_context ctx;  // owns the plan's arena storage for this call
+  pipeline_context ctx;  // owns the plan's (and engine's) arena storage
   auto sample = sample_keys(std::span<const Record>(in), get_key,
                             params.sampling_p, base);
   radix_sort_u64(std::span<uint64_t>(sample));
   auto plan = build_bucket_plan(std::span<const uint64_t>(sample), in.size(),
                                 params, alpha, ctx);
   scatter_storage<Record> storage(plan.total_slots, rng(5).next() | 1);
-  auto result = scatter_records(std::span<const Record>(in), storage, plan,
-                                get_key, params, rng(7));
+  auto result = scatter_dispatch(path, std::span<const Record>(in), storage,
+                                 plan, get_key, params, rng(7), ctx);
   if (result != scatter_result::ok) return {result, std::nullopt};
 
   std::vector<Record> found;
@@ -162,7 +175,8 @@ std::optional<std::string> run_mode(const scatter_config& c,
   params.probing = c.random_probing
                        ? semisort_params::probe_strategy::random
                        : semisort_params::probe_strategy::linear;
-  auto [result, violation] = scatter_once(in, get_key, less, params, c.alpha);
+  auto [result, violation] =
+      scatter_once(in, get_key, less, params, c.alpha, path_of(c));
   if (violation) return violation;
   if (result == scatter_result::sentinel_clash) {
     // Possible only if a generated key collides with the fixed sentinel;
@@ -172,7 +186,7 @@ std::optional<std::string> run_mode(const scatter_config& c,
   if (result == scatter_result::overflow) {
     // The Las-Vegas escape hatch: retry with honest capacity must succeed.
     auto [retry, retry_violation] =
-        scatter_once(in, get_key, less, params, 1.3);
+        scatter_once(in, get_key, less, params, 1.3, path_of(c));
     if (retry_violation) return retry_violation;
     if (retry != scatter_result::ok) {
       return "retry with alpha=1.3 after overflow did not succeed";

@@ -1,5 +1,8 @@
-// Tests for Phase 3 — CAS scatter with linear/random probing, both slot
-// claiming modes (key-CAS and flag-array), and overflow detection.
+// Tests for Phase 3 — the scatter engine: all three placement paths (CAS
+// with linear/random probing, buffered chunk-claiming, blocked two-pass
+// counting), both slot claiming modes (key-CAS and flag-array), sentinel
+// clash and overflow detection on every path, and the blocked path's
+// deterministic stable placement.
 #include "core/scatter.h"
 
 #include <gtest/gtest.h>
@@ -10,6 +13,7 @@
 
 #include "core/bucket_plan.h"
 #include "core/sampler.h"
+#include "core/semisort.h"
 #include "hashing/hash64.h"
 #include "sort/radix_sort.h"
 #include "test_helpers.h"
@@ -29,6 +33,22 @@ struct odd_key {
   uint64_t operator()(const odd_record& r) const { return r.key_value; }
 };
 
+// 12-byte record — an odd (non-power-of-two, sub-cache-line) size on the
+// flag-array variant, so the buffered path's memcpy flushes and the blocked
+// path's placement handle ranges that straddle cache lines unevenly.
+struct tiny_record {
+  uint32_t lo;
+  uint32_t hi;
+  uint32_t tag;
+  friend bool operator==(const tiny_record&, const tiny_record&) = default;
+};
+struct tiny_key {
+  uint64_t operator()(const tiny_record& r) const {
+    return r.lo | (static_cast<uint64_t>(r.hi) << 32);
+  }
+};
+static_assert(sizeof(tiny_record) == 12);
+
 static_assert(scatter_storage<record>::kKeyCas,
               "record must take the key-CAS fast path");
 
@@ -40,6 +60,11 @@ pipeline_context& test_ctx() {
 }
 static_assert(!scatter_storage<odd_record>::kKeyCas,
               "odd_record must take the flag-array path");
+static_assert(!scatter_storage<tiny_record>::kKeyCas,
+              "tiny_record must take the flag-array path");
+
+constexpr scatter_path kAllPaths[] = {
+    scatter_path::cas, scatter_path::buffered, scatter_path::blocked};
 
 template <typename Record, typename GetKey>
 std::pair<bucket_plan, std::vector<Record>> plan_for(
@@ -56,11 +81,13 @@ std::pair<bucket_plan, std::vector<Record>> plan_for(
 
 template <typename Record, typename GetKey, typename Less>
 void check_scatter(const std::vector<Record>& in, GetKey get_key, Less less,
-                   semisort_params params) {
+                   semisort_params params,
+                   scatter_path path = scatter_path::cas) {
   auto [plan, input] = plan_for(in, get_key, params);
   scatter_storage<Record> storage(plan.total_slots, rng(5).next() | 1);
-  auto result = scatter_records(std::span<const Record>(input), storage, plan,
-                                get_key, params, rng(7));
+  auto result =
+      scatter_dispatch(path, std::span<const Record>(input), storage, plan,
+                       get_key, params, rng(7), test_ctx());
   ASSERT_EQ(result, scatter_result::ok);
 
   // Every record present exactly once, inside its own bucket's slot range.
@@ -70,11 +97,19 @@ void check_scatter(const std::vector<Record>& in, GetKey get_key, Less less,
   ASSERT_EQ(found.size(), input.size());
   EXPECT_TRUE(testing::is_permutation_of(std::span<const Record>(found),
                                          std::span<const Record>(input), less));
-  // Placement respects bucket boundaries.
-  for (size_t i = 0, b = 0; i < plan.total_slots; ++i) {
-    while (plan.bucket_offset[b + 1] <= i) ++b;
-    if (storage.occupied(i)) {
-      ASSERT_EQ(plan.bucket_of(get_key(storage.slots[i])), b) << "slot " << i;
+  // Placement respects bucket boundaries; the buffered and blocked paths
+  // additionally fill each bucket front-to-back (occupancy is a prefix).
+  for (size_t b = 0; b < plan.num_buckets(); ++b) {
+    bool gap = false;
+    for (size_t i = plan.bucket_offset[b]; i < plan.bucket_offset[b + 1]; ++i) {
+      if (storage.occupied(i)) {
+        ASSERT_EQ(plan.bucket_of(get_key(storage.slots[i])), b) << "slot " << i;
+        if (path != scatter_path::cas) {
+          ASSERT_FALSE(gap) << "bucket " << b << " not prefix-filled";
+        }
+      } else {
+        gap = true;
+      }
     }
   }
 }
@@ -118,21 +153,73 @@ TEST(Scatter, RandomProbingAblation) {
   check_scatter(in, record_key{}, rec_less, params);
 }
 
-TEST(Scatter, SentinelClashDetected) {
-  // Force a record whose key equals the sentinel: scatter must report the
-  // clash rather than silently corrupting occupancy.
+TEST(Scatter, BufferedPathKeyCasRecords) {
+  auto in = generate_records(100000, {distribution_kind::uniform, 5000}, 11);
+  check_scatter(in, record_key{}, rec_less, semisort_params{},
+                scatter_path::buffered);
+}
+
+TEST(Scatter, BlockedPathKeyCasRecords) {
+  auto in = generate_records(100000, {distribution_kind::zipfian, 100000}, 12);
+  check_scatter(in, record_key{}, rec_less, semisort_params{},
+                scatter_path::blocked);
+}
+
+TEST(Scatter, BufferedPathFlagModeOddRecords) {
+  std::vector<odd_record> in(60000);
+  rng r(13);
+  for (size_t i = 0; i < in.size(); ++i)
+    in[i] = {static_cast<uint32_t>(i), hash64(r.next_below(700))};
+  check_scatter(in, odd_key{}, odd_less, semisort_params{},
+                scatter_path::buffered);
+}
+
+TEST(Scatter, BlockedPathFlagModeOddRecords) {
+  std::vector<odd_record> in(60000);
+  rng r(14);
+  for (size_t i = 0; i < in.size(); ++i)
+    in[i] = {static_cast<uint32_t>(i), hash64(r.next_below(700))};
+  check_scatter(in, odd_key{}, odd_less, semisort_params{},
+                scatter_path::blocked);
+}
+
+TEST(Scatter, TwelveByteRecordsAllPaths) {
+  // 12-byte flag-array records: the buffered path's per-buffer capacity
+  // (256/12 = 21 records) and its memcpy flushes get genuinely odd sizes.
+  std::vector<tiny_record> in(50000);
+  rng r(15);
+  for (size_t i = 0; i < in.size(); ++i) {
+    uint64_t k = hash64(r.next_below(300));
+    in[i] = {static_cast<uint32_t>(k), static_cast<uint32_t>(k >> 32),
+             static_cast<uint32_t>(i)};
+  }
+  auto less = [](const tiny_record& a, const tiny_record& b) {
+    return tiny_key{}(a) != tiny_key{}(b) ? tiny_key{}(a) < tiny_key{}(b)
+                                          : a.tag < b.tag;
+  };
+  for (scatter_path path : kAllPaths)
+    check_scatter(in, tiny_key{}, less, semisort_params{}, path);
+}
+
+TEST(Scatter, SentinelClashDetectedOnEveryPath) {
+  // Force a record whose key equals the sentinel: every path must report
+  // the clash rather than silently corrupting occupancy.
   auto in = generate_records(5000, {distribution_kind::uniform, 100}, 6);
   uint64_t sentinel = rng(5).next() | 1;
   in[1234].key = sentinel;
   semisort_params params;
   auto [plan, input] = plan_for(in, record_key{}, params);
-  scatter_storage<record> storage(plan.total_slots, sentinel);
-  auto result = scatter_records(std::span<const record>(input), storage, plan,
-                                record_key{}, params, rng(7));
-  EXPECT_EQ(result, scatter_result::sentinel_clash);
+  for (scatter_path path : kAllPaths) {
+    scatter_storage<record> storage(plan.total_slots, sentinel);
+    auto result =
+        scatter_dispatch(path, std::span<const record>(input), storage, plan,
+                         record_key{}, params, rng(7), test_ctx());
+    EXPECT_EQ(result, scatter_result::sentinel_clash)
+        << "path " << to_string(path);
+  }
 }
 
-TEST(Scatter, OverflowDetectedWhenBucketsTooSmall) {
+TEST(Scatter, OverflowDetectedWhenBucketsTooSmallOnEveryPath) {
   // Shrink every bucket to ~nothing by building the plan for a tiny
   // pretended n, then scattering far more records into it.
   auto few = generate_records(64, {distribution_kind::uniform, 4}, 7);
@@ -148,10 +235,36 @@ TEST(Scatter, OverflowDetectedWhenBucketsTooSmall) {
   ASSERT_LT(plan.total_slots, 100000u);
 
   auto many = generate_records(100000, {distribution_kind::uniform, 4}, 7);
-  scatter_storage<record> storage(plan.total_slots, rng(5).next() | 1);
-  auto result = scatter_records(std::span<const record>(many), storage, plan,
-                                record_key{}, params, rng(7));
-  EXPECT_EQ(result, scatter_result::overflow);
+  for (scatter_path path : kAllPaths) {
+    scatter_storage<record> storage(plan.total_slots, rng(5).next() | 1);
+    auto result =
+        scatter_dispatch(path, std::span<const record>(many), storage, plan,
+                         record_key{}, params, rng(7), test_ctx());
+    EXPECT_EQ(result, scatter_result::overflow) << "path " << to_string(path);
+  }
+}
+
+TEST(Scatter, BufferedSentinelClashTriggersSemisortRestart) {
+  // End-to-end: a semisort forced onto the buffered path whose first
+  // attempt draws a sentinel colliding with an input key must restart with
+  // a fresh sentinel and still produce a valid semisort. Plant the colliding
+  // key by computing the sentinel the first attempt will draw.
+  size_t n = 40000;
+  auto in = generate_records(n, {distribution_kind::uniform, 500}, 16);
+  semisort_params params;
+  params.scatter_with = semisort_params::scatter_strategy::buffered;
+  // Attempt 0 seeds its rng exactly like semisort_attempt does.
+  rng attempt0(splitmix64(params.seed + 0x9e3779b9ULL * 0));
+  in[77].key = attempt0.split(2).next() | 1;  // the attempt-0 sentinel
+  semisort_stats stats;
+  params.stats = &stats;
+  std::vector<record> out(n);
+  semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                  record_key{}, params);
+  EXPECT_GE(stats.restarts, 1);
+  EXPECT_EQ(stats.scatter_path_used, scatter_path::buffered);
+  EXPECT_TRUE(testing::valid_semisort(std::span<const record>(out),
+                                      std::span<const record>(in)));
 }
 
 TEST(Scatter, DeterministicPlacementAcrossWorkerCounts) {
@@ -182,6 +295,40 @@ TEST(Scatter, DeterministicPlacementAcrossWorkerCounts) {
   };
   EXPECT_TRUE(testing::is_permutation_of(std::span<const record>(par),
                                          std::span<const record>(seq), less));
+}
+
+TEST(Scatter, BlockedPlacementExactlyDeterministicAcrossWorkerCounts) {
+  // Stronger than the CAS guarantee: the blocked path's two-pass placement
+  // is stable (input order within each bucket) and byte-identical at every
+  // worker count — the full slot array must match, not just per-bucket
+  // multisets.
+  auto in = generate_records(50000, {distribution_kind::exponential, 100}, 9);
+  semisort_params params;
+  auto [plan, input] = plan_for(in, record_key{}, params);
+
+  auto run_with = [&](int workers) {
+    set_num_workers(workers);
+    scatter_storage<record> storage(plan.total_slots, 0x123457ULL);
+    auto result = scatter_dispatch(scatter_path::blocked,
+                                   std::span<const record>(input), storage,
+                                   plan, record_key{}, params, rng(7),
+                                   test_ctx());
+    EXPECT_EQ(result, scatter_result::ok);
+    std::vector<record> recs;
+    for (size_t i = 0; i < plan.total_slots; ++i)
+      recs.push_back(storage.occupied(i) ? storage.slots[i]
+                                         : record{0, 0});
+    return recs;
+  };
+  int original = num_workers();
+  auto seq = run_with(1);
+  auto par = run_with(4);
+  set_num_workers(original);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].key, par[i].key) << "slot " << i;
+    ASSERT_EQ(seq[i].payload, par[i].payload) << "slot " << i;
+  }
 }
 
 }  // namespace

@@ -81,6 +81,21 @@ std::vector<ParamCase> param_cases() {
   }
   {
     semisort_params p;
+    p.scatter_with = semisort_params::scatter_strategy::cas;
+    cases.push_back({p, "scatter_cas"});
+  }
+  {
+    semisort_params p;
+    p.scatter_with = semisort_params::scatter_strategy::buffered;
+    cases.push_back({p, "scatter_buffered"});
+  }
+  {
+    semisort_params p;
+    p.scatter_with = semisort_params::scatter_strategy::blocked;
+    cases.push_back({p, "scatter_blocked"});
+  }
+  {
+    semisort_params p;
     p.local_sort = semisort_params::local_sort_algo::counting_by_naming;
     cases.push_back({p, "counting_by_naming"});
   }
