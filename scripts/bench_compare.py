@@ -31,6 +31,16 @@ EXPECTED_PATHS = {"cas", "buffered", "blocked", "adaptive"}
 VALID_USED = {"cas", "buffered", "blocked"}
 
 
+def _refuse_constant(name):
+    raise ValueError(f"non-finite number in sidecar: {name}")
+
+
+def load_sidecar_text(text):
+    """Strict parse: bare NaN/Infinity (which json.loads accepts by
+    default) means the bench's JSON writer is broken — refuse it."""
+    return json.loads(text, parse_constant=_refuse_constant)
+
+
 def run_bench(bench, n, reps, extra):
     """Run the bench in a scratch directory; return the parsed sidecar."""
     with tempfile.TemporaryDirectory(prefix="bench_compare.") as tmp:
@@ -40,7 +50,7 @@ def run_bench(bench, n, reps, extra):
         subprocess.run(cmd, cwd=tmp, check=True)
         path = os.path.join(tmp, "BENCH_ablation_scatter_paths.json")
         with open(path) as f:
-            return json.load(f)
+            return load_sidecar_text(f.read())
 
 
 def check(doc):
@@ -101,7 +111,7 @@ def main():
 
     if args.json:
         with open(args.json) as f:
-            doc = json.load(f)
+            doc = load_sidecar_text(f.read())
     elif args.bench:
         doc = run_bench(args.bench, args.n, args.reps, args.extra)
     else:

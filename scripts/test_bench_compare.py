@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py (run: python3 -m unittest
+scripts.test_bench_compare, or directly). No third-party deps — stdlib
+unittest only, registered in ctest under the `tooling` label.
+
+The check() contract under test: per distribution, every requested scatter
+path must be present and agree with the cas baseline on checksum and
+key-run count; rows must carry the full key set and a known scatter_path;
+the sidecar must be strict JSON (the CLI path rejects non-finite floats and
+other almost-JSON the bench writer could emit).
+"""
+
+import copy
+import io
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def make_row(dist="uniform", requested="cas", used=None, checksum="deadbeef",
+             key_runs=42):
+    return {
+        "distribution": dist,
+        "path_requested": requested,
+        "scatter_path": used if used is not None else
+            (requested if requested != "adaptive" else "buffered"),
+        "checksum": checksum,
+        "key_runs": key_runs,
+        "millis": 1.25,
+    }
+
+
+def make_doc(dists=("uniform", "zipf")):
+    rows = []
+    for d in dists:
+        for p in sorted(bench_compare.EXPECTED_PATHS):
+            rows.append(make_row(dist=d, requested=p))
+    return {"rows": rows}
+
+
+def run_check(doc):
+    """check() with captured output; returns (ok, stderr_text)."""
+    err = io.StringIO()
+    with redirect_stdout(io.StringIO()), redirect_stderr(err):
+        ok = bench_compare.check(doc)
+    return ok, err.getvalue()
+
+
+class CheckAgreement(unittest.TestCase):
+    def test_agreeing_doc_passes(self):
+        ok, _ = run_check(make_doc())
+        self.assertTrue(ok)
+
+    def test_empty_doc_fails(self):
+        ok, err = run_check({"rows": []})
+        self.assertFalse(ok)
+        self.assertIn("no rows", err)
+
+    def test_checksum_mismatch_fails_and_names_the_path(self):
+        doc = make_doc(dists=("uniform",))
+        for row in doc["rows"]:
+            if row["path_requested"] == "blocked":
+                row["checksum"] = "0badf00d"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("blocked", err)
+        self.assertIn("checksum", err)
+
+    def test_key_runs_mismatch_fails(self):
+        doc = make_doc(dists=("uniform",))
+        doc["rows"][-1]["key_runs"] = 7
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("key_runs", err)
+
+    def test_missing_path_fails(self):
+        doc = make_doc(dists=("uniform",))
+        doc["rows"] = [r for r in doc["rows"]
+                       if r["path_requested"] != "buffered"]
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("buffered", err)
+        self.assertIn("never ran", err)
+
+    def test_mismatch_in_one_distribution_does_not_hide_in_another(self):
+        doc = make_doc(dists=("uniform", "zipf"))
+        for row in doc["rows"]:
+            if row["distribution"] == "zipf" and \
+                    row["path_requested"] == "adaptive":
+                row["checksum"] = "f00"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("zipf", err)
+
+
+class CheckRowValidity(unittest.TestCase):
+    def test_row_missing_key_fails(self):
+        for key in ("distribution", "path_requested", "checksum", "key_runs",
+                    "scatter_path"):
+            doc = make_doc(dists=("uniform",))
+            del doc["rows"][0][key]
+            ok, err = run_check(doc)
+            self.assertFalse(ok, key)
+            self.assertIn(key, err)
+
+    def test_unknown_scatter_path_fails(self):
+        doc = make_doc(dists=("uniform",))
+        doc["rows"][0]["scatter_path"] = "warp_drive"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("warp_drive", err)
+
+    def test_adaptive_must_resolve_to_a_concrete_path(self):
+        doc = make_doc(dists=("uniform",))
+        for row in doc["rows"]:
+            if row["path_requested"] == "adaptive":
+                row["scatter_path"] = "adaptive"  # writer failed to resolve
+        ok, _ = run_check(doc)
+        self.assertFalse(ok)
+
+    def test_null_metric_does_not_crash_check(self):
+        # Extra metric fields may be null/absent; check() must not trip on
+        # them as long as the required keys agree.
+        doc = make_doc(dists=("uniform",))
+        for row in doc["rows"]:
+            row["millis"] = None
+        ok, _ = run_check(doc)
+        self.assertTrue(ok)
+
+
+class CliJsonStrictness(unittest.TestCase):
+    """End-to-end over the CLI: --json files with hostile content."""
+
+    def run_cli(self, text):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write(text)
+            path = f.name
+        try:
+            script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "bench_compare.py")
+            return subprocess.run(
+                [sys.executable, script, "--json", path],
+                capture_output=True, text=True)
+        finally:
+            os.unlink(path)
+
+    def test_agreeing_sidecar_exits_zero(self):
+        res = self.run_cli(json.dumps(make_doc()))
+        self.assertEqual(res.returncode, 0, res.stderr)
+
+    def test_checksum_mismatch_exits_nonzero(self):
+        doc = make_doc(dists=("uniform",))
+        doc["rows"][2]["checksum"] = "feedface"
+        res = self.run_cli(json.dumps(doc))
+        self.assertEqual(res.returncode, 1, res.stderr)
+
+    def test_non_finite_float_in_sidecar_is_rejected(self):
+        # json.dumps would escape these; a buggy C++ writer can emit bare
+        # NaN/Infinity, which strict parsing must refuse.
+        doc = make_doc(dists=("uniform",))
+        text = json.dumps(doc).replace("1.25", "NaN", 1)
+        res = self.run_cli(text)
+        self.assertNotEqual(res.returncode, 0)
+
+    def test_truncated_json_is_rejected(self):
+        res = self.run_cli(json.dumps(make_doc())[:-20])
+        self.assertNotEqual(res.returncode, 0)
+
+
+class NonFiniteParse(unittest.TestCase):
+    def test_parse_constant_hook_refuses_non_finite(self):
+        # Guard the module-level expectation the CLI test relies on: the
+        # stdlib parser accepts NaN by default, so bench_compare must parse
+        # with parse_constant set to raise. If this starts failing, the
+        # strict-JSON contract in bench_compare.py was dropped.
+        text = json.dumps(make_doc()).replace("1.25", "Infinity", 1)
+        with self.assertRaises(ValueError):
+            bench_compare.load_sidecar_text(text)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -376,6 +376,9 @@ scatter_result scatter_buffered(std::span<const Record> in,
       while (j < count && ids[j] == ids[i]) ++j;
       size_t b = ids[i];
       size_t len = j - i;
+      // Relaxed RMW per run, not per record: the sort above coalesces same-
+      // bucket records so this claims a whole run with one fetch_add, and
+      // slot ownership (not ordering) is what the claim provides.
       size_t start = std::atomic_ref<size_t>(cursor[b])
                          .fetch_add(len, std::memory_order_relaxed);
       ++claims;

@@ -46,6 +46,14 @@ void* operator new(std::size_t sz, std::align_val_t al) {
 void* operator new[](std::size_t sz, std::align_val_t al) {
   return ::operator new(sz, al);
 }
+// GCC's -Wmismatched-new-delete fires at inlined call sites because it
+// pairs these definitions against the *default* operator new, not the
+// malloc/posix_memalign replacements above; free() is the correct partner
+// for both replacement allocators.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
@@ -58,6 +66,9 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace parsemi {
 namespace {

@@ -54,7 +54,7 @@ TEST(CollectReduce, MaxReduction) {
 TEST(CollectReduce, StringKeys) {
   std::vector<std::pair<std::string, uint64_t>> pairs;
   for (int i = 0; i < 40000; ++i)
-    pairs.emplace_back("k" + std::to_string(i % 13), 1);
+    pairs.emplace_back(std::string("k") + std::to_string(i % 13), 1);
   auto got = collect_reduce(
       std::span<const std::pair<std::string, uint64_t>>(pairs),
       [](const std::string& s) { return hash_string(s); },

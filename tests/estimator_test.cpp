@@ -78,7 +78,7 @@ TEST(Estimator, Lemma35TotalIsLinear) {
   // samples concentrated in a few buckets.
   size_t n = 100000000;
   size_t num_buckets = 65536;  // the implementation default
-  size_t total_samples = static_cast<size_t>(n * kP);
+  size_t total_samples = static_cast<size_t>(static_cast<double>(n) * kP);
 
   auto total_alloc = [&](const std::vector<size_t>& s) {
     double sum = 0;

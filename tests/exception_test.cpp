@@ -27,19 +27,19 @@ TEST_F(SchedulerExceptions, LeftBranchThrowPropagates) {
   std::atomic<bool> right_ran{false};
   EXPECT_THROW(
       par_do([] { throw std::runtime_error("left"); },
-             [&] { right_ran = true; }),
+             [&] { right_ran.store(true, std::memory_order_relaxed); }),
       std::runtime_error);
   // The right branch is still executed to completion before the rethrow
   // (it lives on the forker's stack and may have been stolen).
-  EXPECT_TRUE(right_ran.load());
+  EXPECT_TRUE(right_ran.load(std::memory_order_relaxed));
 }
 
 TEST_F(SchedulerExceptions, RightBranchThrowPropagates) {
   std::atomic<bool> left_ran{false};
-  EXPECT_THROW(par_do([&] { left_ran = true; },
+  EXPECT_THROW(par_do([&] { left_ran.store(true, std::memory_order_relaxed); },
                       [] { throw std::logic_error("right"); }),
                std::logic_error);
-  EXPECT_TRUE(left_ran.load());
+  EXPECT_TRUE(left_ran.load(std::memory_order_relaxed));
 }
 
 TEST_F(SchedulerExceptions, ExceptionTypeAndMessageSurvive) {
@@ -79,9 +79,9 @@ TEST_F(SchedulerExceptions, PoolUsableAfterExceptions) {
                      16),
         std::runtime_error);
     std::atomic<int64_t> sum{0};
-    parallel_for(0, 10000, [&](size_t i) { sum += static_cast<int64_t>(i); },
+    parallel_for(0, 10000, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); },
                  16);
-    ASSERT_EQ(sum.load(), 9999 * 10000 / 2) << "round " << round;
+    ASSERT_EQ(sum.load(std::memory_order_relaxed), 9999 * 10000 / 2) << "round " << round;
   }
 }
 

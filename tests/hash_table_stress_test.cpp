@@ -116,7 +116,7 @@ std::optional<std::string> table_invariants_hold(const table_config& c) {
   });
 
   std::unordered_set<uint64_t> present(ops.begin(), ops.end());
-  if (wins.load() != present.size()) {
+  if (wins.load(std::memory_order_relaxed) != present.size()) {
     return "winning insert count != distinct keys inserted";
   }
   if (t.size() != present.size()) return "size() != distinct keys inserted";
@@ -125,9 +125,9 @@ std::optional<std::string> table_invariants_hold(const table_config& c) {
   std::atomic<uint64_t> bad{0};
   parallel_for(0, ops.size(), [&](size_t i) {
     auto v = t.find(ops[i]);
-    if (!v || *v != value_of(ops[i])) bad.fetch_add(1);
+    if (!v || *v != value_of(ops[i])) bad.fetch_add(1, std::memory_order_relaxed);
   });
-  if (bad.load() != 0) return "a key was missing or had the wrong value";
+  if (bad.load(std::memory_order_relaxed) != 0) return "a key was missing or had the wrong value";
 
   // A key never inserted must not be found.
   if (t.find(0xfeedfacecafef00dULL ^ c.data_seed) &&

@@ -75,9 +75,9 @@ TEST(HashTable, ConcurrentInsertPhaseDistinctKeys) {
   std::atomic<size_t> missing{0};
   parallel_for(0, kN, [&](size_t i) {
     auto v = t.find(hash64(i));
-    if (!v || *v != i) missing.fetch_add(1);
+    if (!v || *v != i) missing.fetch_add(1, std::memory_order_relaxed);
   });
-  EXPECT_EQ(missing.load(), 0u);
+  EXPECT_EQ(missing.load(std::memory_order_relaxed), 0u);
   EXPECT_EQ(t.size(), kN);
 }
 
@@ -89,9 +89,9 @@ TEST(HashTable, ConcurrentInsertPhaseDuplicateKeysExactlyOneWinner) {
   std::atomic<size_t> winners{0};
   parallel_for(0, kAttempts, [&](size_t i) {
     uint64_t key = hash64(i % 64);
-    if (t.insert(key, key * 2)) winners.fetch_add(1);
+    if (t.insert(key, key * 2)) winners.fetch_add(1, std::memory_order_relaxed);
   });
-  EXPECT_EQ(winners.load(), 64u);
+  EXPECT_EQ(winners.load(std::memory_order_relaxed), 64u);
   EXPECT_EQ(t.size(), 64u);
   for (uint64_t k = 0; k < 64; ++k)
     EXPECT_EQ(t.find(hash64(k)), std::optional<uint64_t>(hash64(k) * 2));

@@ -1,0 +1,25 @@
+// Fixture: arena allocations escaping their arena_scope — both flagged.
+struct arena {
+  template <class T>
+  T* alloc(unsigned long n);
+};
+struct arena_scope {
+  explicit arena_scope(arena& a);
+  ~arena_scope();
+};
+
+int* escapes_via_return(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  int* tmp = a.alloc<int>(n);
+  tmp[0] = 1;
+  return tmp;  // flagged: tmp dies at scope's closing brace
+}
+
+struct holder {
+  int* stash_;
+  void escapes_via_member(arena& a, unsigned long n) {
+    arena_scope scope(a);
+    int* tmp = a.alloc<int>(n);
+    stash_ = tmp;  // flagged: member outlives the scope
+  }
+};

@@ -1,0 +1,24 @@
+// Fixture: allocations that stay inside their arena_scope, and an
+// unscoped allocation that may legally escape (the caller owns the
+// checkpoint discipline) — nothing flagged.
+struct arena {
+  template <class T>
+  T* alloc(unsigned long n);
+};
+struct arena_scope {
+  explicit arena_scope(arena& a);
+  ~arena_scope();
+};
+
+long used_and_dropped(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  int* tmp = a.alloc<int>(n);
+  long sum = 0;
+  for (unsigned long i = 0; i < n; ++i) sum += tmp[i];
+  return sum;  // returns a value, not the allocation
+}
+
+int* unscoped_alloc_may_escape(arena& a, unsigned long n) {
+  int* out = a.alloc<int>(n);  // no arena_scope active: caller's contract
+  return out;
+}

@@ -1,0 +1,16 @@
+// Fixture: every operation here is an implicit seq_cst — all flagged.
+#include <atomic>
+
+int bad_member_calls(std::atomic<int>& a) {
+  a.store(1);                 // flagged
+  a.fetch_add(2);             // flagged
+  return a.load();            // flagged
+}
+
+void bad_operator_forms() {
+  std::atomic<int> count{0};
+  count += 1;                 // flagged
+  count++;                    // flagged
+  ++count;                    // flagged
+  count = 5;                  // flagged
+}

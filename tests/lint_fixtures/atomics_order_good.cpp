@@ -1,0 +1,21 @@
+// Fixture: explicit memory orders everywhere — nothing flagged.
+#include <atomic>
+
+int good_member_calls(std::atomic<int>& a) {
+  a.store(1, std::memory_order_release);
+  a.fetch_add(2, std::memory_order_relaxed);
+  int expected = 0;
+  a.compare_exchange_strong(expected, 7, std::memory_order_acq_rel,
+                            std::memory_order_acquire);
+  return a.load(std::memory_order_acquire);
+}
+
+void shadowing_is_not_an_atomic() {
+  std::atomic<int> count{0};
+  count.store(3, std::memory_order_relaxed);
+  {
+    int count = 0;  // plain int sharing the name: the declaration is not
+                    // flagged (writes to it would be — rename instead)
+    (void)count;
+  }
+}

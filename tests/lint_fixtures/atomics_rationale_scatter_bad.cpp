@@ -1,0 +1,17 @@
+// Fixture (file name contains "scatter"): an explicit-order fetch_add in a
+// loop without a nearby rationale comment is flagged.
+#include <atomic>
+
+// NOTE: the blank lines below matter — the rule searches 4 lines above the
+// call for a comment, so the loop body must sit clear of this header.
+
+
+
+
+void hot_loop(std::atomic<long>& cursor, int n) {
+  long acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += cursor.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)acc;
+}

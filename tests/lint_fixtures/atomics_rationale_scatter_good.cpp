@@ -1,0 +1,12 @@
+// Fixture (file name contains "scatter"): the rationale comment right above
+// the in-loop RMW satisfies the rule.
+#include <atomic>
+
+void hot_loop(std::atomic<long>& cursor, int n) {
+  long acc = 0;
+  for (int i = 0; i < n; ++i) {
+    // One relaxed claim per iteration is the point of this benchmark loop.
+    acc += cursor.fetch_add(1, std::memory_order_relaxed);
+  }
+  (void)acc;
+}

@@ -1,0 +1,23 @@
+// Fixture: by-reference writes to captured locals inside parallel bodies —
+// all flagged (a data race unless the range is degenerate).
+#include <cstddef>
+
+template <class F>
+void parallel_for(size_t lo, size_t hi, F&& f);
+template <class L, class R>
+void par_do(L&& l, R&& r);
+
+long racy_sum(size_t n) {
+  long sum = 0;
+  parallel_for(0, n, [&](size_t i) {
+    sum += static_cast<long>(i);  // flagged: racy captured write
+  });
+  return sum;
+}
+
+int racy_flag(size_t n) {
+  int hits = 0;
+  parallel_for(0, n, [&](size_t) { ++hits; });  // flagged
+  par_do([&] { hits = 1; }, [] {});             // flagged
+  return hits;
+}

@@ -1,0 +1,37 @@
+// Fixture: the sanctioned parallel-body idioms — per-index partition,
+// atomics, body-local accumulators, and a waived degenerate range.
+#include <atomic>
+#include <cstddef>
+
+template <class F>
+void parallel_for(size_t lo, size_t hi, F&& f);
+
+void per_index_partition(long* out, size_t n) {
+  parallel_for(0, n, [&](size_t i) {
+    out[i] = static_cast<long>(i);  // partitioned: one writer per index
+  });
+}
+
+long atomic_accumulator(size_t n) {
+  std::atomic<long> sum{0};
+  parallel_for(0, n, [&](size_t i) {
+    sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+  });
+  return sum.load(std::memory_order_relaxed);
+}
+
+void body_locals_are_fine(long* out, size_t n) {
+  parallel_for(0, n, [&](size_t i) {
+    long x = 0;
+    size_t lo = i, hi = i + 1;  // multi-declarator body locals
+    for (size_t j = lo; j < hi; ++j) x += static_cast<long>(j);
+    out[i] = x;
+  });
+}
+
+int waived_singleton(long* out) {
+  int calls = 0;
+  // parsemi-check: allow(parallel-capture) -- singleton range, one writer
+  parallel_for(0, 1, [&](size_t i) { out[i] = 1; ++calls; });
+  return calls;
+}

@@ -1,0 +1,12 @@
+// Fixture: malformed waivers are themselves findings.
+#include <atomic>
+
+void missing_reason(std::atomic<int>& a) {
+  // parsemi-check: allow(atomics-order)
+  a.store(1);  // the waiver above has no reason: both lines produce findings
+}
+
+void unknown_rule(std::atomic<int>& a) {
+  // parsemi-check: allow(no-such-rule) -- because
+  a.store(2, std::memory_order_relaxed);
+}

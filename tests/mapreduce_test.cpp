@@ -88,7 +88,7 @@ TEST(MapReduce, StringKeysAndNonCommutativeFold) {
   std::vector<std::pair<std::string, uint64_t>> inputs;
   rng r(2);
   for (int i = 0; i < 20000; ++i)
-    inputs.emplace_back("k" + std::to_string(i % 11), r.next_below(1000000));
+    inputs.emplace_back(std::string("k") + std::to_string(i % 11), r.next_below(1000000));
   auto out = map_reduce<std::pair<std::string, uint64_t>, std::string,
                         uint64_t, acc_t>(
       std::span<const std::pair<std::string, uint64_t>>(inputs),

@@ -85,11 +85,11 @@ TEST_F(NestedParallelism, DeeplyNestedParDoWithSemisortLeaves) {
   auto leaf = [&](uint64_t seed) {
     auto in = generate_records(15000, {distribution_kind::uniform, 300}, seed);
     auto out = semisort_hashed(std::span<const record>(in));
-    if (testing::valid_semisort(out, in)) valid.fetch_add(1);
+    if (testing::valid_semisort(out, in)) valid.fetch_add(1, std::memory_order_relaxed);
   };
   par_do([&] { par_do([&] { leaf(1); }, [&] { leaf(2); }); },
          [&] { par_do([&] { leaf(3); }, [&] { leaf(4); }); });
-  EXPECT_EQ(valid.load(), 4);
+  EXPECT_EQ(valid.load(std::memory_order_relaxed), 4);
 }
 
 TEST(ForeignThread, FullSemisortFromNonPoolThread) {

@@ -72,8 +72,8 @@ inline uint64_t uniform_u64(rng& r, uint64_t lo, uint64_t hi) {
 inline uint64_t log_uniform_u64(rng& r, uint64_t lo, uint64_t hi) {
   if (lo >= hi) return lo;
   if (lo == 0) lo = 1;
-  int lo_bits = std::bit_width(lo);
-  int hi_bits = std::bit_width(hi);
+  int lo_bits = static_cast<int>(std::bit_width(lo));
+  int hi_bits = static_cast<int>(std::bit_width(hi));
   int e = lo_bits + static_cast<int>(
                         r.next_below(static_cast<uint64_t>(hi_bits - lo_bits) + 1));
   uint64_t bucket_lo = e <= 1 ? 1 : (uint64_t{1} << (e - 1));

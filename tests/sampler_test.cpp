@@ -25,7 +25,7 @@ TEST(Sampler, SampleSizeIsFloorNP) {
     std::vector<record> in(n, record{1, 1});
     auto s = sample_keys(std::span<const record>(in), record_key{}, 1.0 / 16,
                          rng(1));
-    EXPECT_EQ(s.size(), static_cast<size_t>(n / 16.0)) << n;
+    EXPECT_EQ(s.size(), static_cast<size_t>(static_cast<double>(n) / 16.0)) << n;
   }
 }
 

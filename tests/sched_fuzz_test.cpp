@@ -40,7 +40,7 @@ uint64_t workload() {
             [&](size_t i) { acc.fetch_add(2 * i, std::memory_order_relaxed); },
             64);
       });
-  return acc.load();
+  return acc.load(std::memory_order_relaxed);
 }
 
 TEST(SchedFuzz, DisabledMeansNoPerturbationAndZeroTrace) {
@@ -124,8 +124,8 @@ TEST(SchedFuzz, ExceptionsStillPropagateUnderPerturbation) {
       std::runtime_error);
   // The pool must still be usable afterwards.
   std::atomic<int64_t> sum{0};
-  parallel_for(0, 1000, [&](size_t i) { sum += static_cast<int64_t>(i); });
-  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  parallel_for(0, 1000, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 999 * 1000 / 2);
 }
 
 TEST(SchedFuzz, WorkerChurnIsDeterministicAndBounded) {
@@ -160,8 +160,8 @@ TEST(SchedFuzz, WorkerChurnIsDeterministicAndBounded) {
   EXPECT_TRUE(churned) << "seed 77 never changed the worker count in 40 calls";
   // The pool still works after churn.
   std::atomic<int64_t> sum{0};
-  parallel_for(0, 10000, [&](size_t i) { sum += static_cast<int64_t>(i); });
-  EXPECT_EQ(sum.load(), int64_t(9999) * 10000 / 2);
+  parallel_for(0, 10000, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), int64_t(9999) * 10000 / 2);
 }
 
 TEST(SchedFuzz, ScopedEnableRestoresPreviousState) {

@@ -22,20 +22,20 @@ TEST(Scheduler, MainThreadIsWorkerZero) { EXPECT_EQ(worker_id(), 0); }
 
 TEST(Scheduler, ParDoRunsBothSides) {
   std::atomic<int> count{0};
-  par_do([&] { count += 1; }, [&] { count += 2; });
-  EXPECT_EQ(count.load(), 3);
+  par_do([&] { count.fetch_add(1, std::memory_order_relaxed); }, [&] { count.fetch_add(2, std::memory_order_relaxed); });
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 3);
 }
 
 TEST(Scheduler, ParDoNested) {
   std::atomic<int> count{0};
   par_do(
       [&] {
-        par_do([&] { count += 1; }, [&] { count += 2; });
+        par_do([&] { count.fetch_add(1, std::memory_order_relaxed); }, [&] { count.fetch_add(2, std::memory_order_relaxed); });
       },
       [&] {
-        par_do([&] { count += 4; }, [&] { count += 8; });
+        par_do([&] { count.fetch_add(4, std::memory_order_relaxed); }, [&] { count.fetch_add(8, std::memory_order_relaxed); });
       });
-  EXPECT_EQ(count.load(), 15);
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 15);
 }
 
 TEST(Scheduler, DeepForkRecursion) {
@@ -43,14 +43,14 @@ TEST(Scheduler, DeepForkRecursion) {
   std::atomic<int64_t> sum{0};
   std::function<void(int64_t, int64_t)> go = [&](int64_t lo, int64_t hi) {
     if (hi - lo == 1) {
-      sum += lo;
+      sum.fetch_add(lo, std::memory_order_relaxed);
       return;
     }
     int64_t mid = lo + (hi - lo) / 2;
     par_do([&] { go(lo, mid); }, [&] { go(mid, hi); });
   };
   go(0, 1 << 14);
-  EXPECT_EQ(sum.load(), (int64_t(1) << 13) * ((1 << 14) - 1));
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), (int64_t(1) << 13) * ((1 << 14) - 1));
 }
 
 TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
@@ -60,30 +60,32 @@ TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
   parallel_for(0, kN, [&](size_t i) {
     hits[i].fetch_add(1, std::memory_order_relaxed);
   });
-  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
 }
 
 TEST(Scheduler, ParallelForEmptyAndSingleton) {
-  int count = 0;
-  parallel_for(5, 5, [&](size_t) { ++count; });
-  EXPECT_EQ(count, 0);
+  int calls = 0;
+  // parsemi-check: allow(parallel-capture) -- empty range, body never runs
+  parallel_for(5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
   parallel_for(7, 8, [&](size_t i) {
     EXPECT_EQ(i, 7u);
-    ++count;
+    // parsemi-check: allow(parallel-capture) -- singleton range, one writer
+    ++calls;
   });
-  EXPECT_EQ(count, 1);
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(Scheduler, ParallelForNonzeroStart) {
   std::atomic<int64_t> sum{0};
-  parallel_for(1000, 2000, [&](size_t i) { sum += static_cast<int64_t>(i); });
-  EXPECT_EQ(sum.load(), (1000 + 1999) * 1000 / 2);  // Σ 1000..1999
+  parallel_for(1000, 2000, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), (1000 + 1999) * 1000 / 2);  // Σ 1000..1999
 }
 
 TEST(Scheduler, ParallelForExplicitGranularity) {
   std::atomic<int64_t> sum{0};
-  parallel_for(0, 10001, [&](size_t i) { sum += static_cast<int64_t>(i); }, 3);
-  EXPECT_EQ(sum.load(), int64_t(10000) * 10001 / 2);
+  parallel_for(0, 10001, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); }, 3);
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), int64_t(10000) * 10001 / 2);
 }
 
 TEST(Scheduler, ParallelForBlocksTilesExactly) {
@@ -96,10 +98,10 @@ TEST(Scheduler, ParallelForBlocksTilesExactly) {
     EXPECT_LE(hi, kN);
     for (size_t i = lo; i < hi; ++i)
       hits[i].fetch_add(1, std::memory_order_relaxed);
-    blocks.fetch_add(1);
+    blocks.fetch_add(1, std::memory_order_relaxed);
   });
-  EXPECT_EQ(blocks.load(), (kN + kBlock - 1) / kBlock);
-  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(blocks.load(std::memory_order_relaxed), (kN + kBlock - 1) / kBlock);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1);
 }
 
 TEST(Scheduler, SetNumWorkersChangesPoolSize) {
@@ -107,13 +109,13 @@ TEST(Scheduler, SetNumWorkersChangesPoolSize) {
   set_num_workers(3);
   EXPECT_EQ(num_workers(), 3);
   std::atomic<int64_t> sum{0};
-  parallel_for(0, 100000, [&](size_t i) { sum += static_cast<int64_t>(i); });
-  EXPECT_EQ(sum.load(), int64_t(99999) * 100000 / 2);
+  parallel_for(0, 100000, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), int64_t(99999) * 100000 / 2);
   set_num_workers(1);
   EXPECT_EQ(num_workers(), 1);
-  sum = 0;
-  parallel_for(0, 1000, [&](size_t i) { sum += static_cast<int64_t>(i); });
-  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  sum.store(0, std::memory_order_relaxed);
+  parallel_for(0, 1000, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 999 * 1000 / 2);
   set_num_workers(original);
 }
 
@@ -121,11 +123,11 @@ TEST(Scheduler, ForeignThreadFallsBackToSequential) {
   std::atomic<int> count{0};
   std::thread outsider([&] {
     EXPECT_EQ(worker_id(), -1);
-    par_do([&] { count += 1; }, [&] { count += 2; });
-    parallel_for(0, 100, [&](size_t) { count += 1; });
+    par_do([&] { count.fetch_add(1, std::memory_order_relaxed); }, [&] { count.fetch_add(2, std::memory_order_relaxed); });
+    parallel_for(0, 100, [&](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
   });
   outsider.join();
-  EXPECT_EQ(count.load(), 103);
+  EXPECT_EQ(count.load(std::memory_order_relaxed), 103);
 }
 
 TEST(Scheduler, StressManySmallRegions) {
@@ -133,8 +135,8 @@ TEST(Scheduler, StressManySmallRegions) {
   set_num_workers(4);
   for (int round = 0; round < 200; ++round) {
     std::atomic<int64_t> sum{0};
-    parallel_for(0, 512, [&](size_t i) { sum += static_cast<int64_t>(i); }, 16);
-    ASSERT_EQ(sum.load(), 511 * 512 / 2) << "round " << round;
+    parallel_for(0, 512, [&](size_t i) { sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed); }, 16);
+    ASSERT_EQ(sum.load(std::memory_order_relaxed), 511 * 512 / 2) << "round " << round;
   }
   set_num_workers(1);
 }
@@ -145,12 +147,12 @@ TEST(Scheduler, UnbalancedForkLoad) {
   std::atomic<int64_t> sum{0};
   par_do(
       [&] {
-        for (int i = 0; i < 1000; ++i) sum += 1;
+        for (int i = 0; i < 1000; ++i) sum.fetch_add(1, std::memory_order_relaxed);
       },
       [&] {
-        parallel_for(0, 1 << 16, [&](size_t) { sum += 1; });
+        parallel_for(0, 1 << 16, [&](size_t) { sum.fetch_add(1, std::memory_order_relaxed); });
       });
-  EXPECT_EQ(sum.load(), 1000 + (1 << 16));
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 1000 + (1 << 16));
   set_num_workers(1);
 }
 

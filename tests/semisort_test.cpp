@@ -154,7 +154,7 @@ TEST(Semisort, StatsAreFilled) {
   semisort_hashed(std::span<const record>(in), std::span<record>(out),
                   record_key{}, params);
   EXPECT_EQ(stats.n, in.size());
-  EXPECT_EQ(stats.sample_size, static_cast<size_t>(in.size() * params.sampling_p));
+  EXPECT_EQ(stats.sample_size, static_cast<size_t>(static_cast<double>(in.size()) * params.sampling_p));
   EXPECT_GT(stats.num_heavy_keys, 0u);  // λ=200 ⇒ many heavy keys
   EXPECT_GT(stats.heavy_records, in.size() / 2);
   EXPECT_GT(stats.total_slots, in.size() / 2);

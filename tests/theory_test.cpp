@@ -52,7 +52,7 @@ TEST(Theory, SampleSizeIsExactlyFloorNP) {
   for (size_t n : {100000ul, 123457ul}) {
     auto in = generate_records(n, {distribution_kind::uniform, 1000}, 1);
     auto stats = run_with_stats(in, 5);
-    EXPECT_EQ(stats.sample_size, static_cast<size_t>(n / 16.0)) << n;
+    EXPECT_EQ(stats.sample_size, static_cast<size_t>(static_cast<double>(n) / 16.0)) << n;
   }
 }
 

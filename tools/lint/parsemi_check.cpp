@@ -1,0 +1,953 @@
+#include "parsemi_check.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace parsemi_check {
+
+namespace {
+
+// ---- tokenizer -----------------------------------------------------------
+
+enum class tok_kind : uint8_t { ident, number, str, punct };
+
+struct token {
+  tok_kind kind;
+  std::string text;
+  int line = 0;
+};
+
+// One source file, lexed: tokens with comments and preprocessor lines
+// stripped, plus the per-line comment text (waivers and rationale comments
+// are read from here).
+struct lexed {
+  std::vector<token> tokens;
+  std::map<int, std::string> comments;  // line -> concatenated comment text
+  int last_line = 1;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators we must not split: assignment/compound ops,
+// arrows, shifts, comparisons, scope.
+const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                "<=", ">=", "&&", "||", "<<", ">>"};
+
+lexed lex(std::string_view text) {
+  lexed out;
+  size_t i = 0;
+  int line = 1;
+  auto add_comment = [&](int at, std::string_view body) {
+    std::string& slot = out.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot.append(body);
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations).
+    // Only when '#' starts the directive position (whitespace before it on
+    // the line is fine — we do not track that precisely; a '#' token cannot
+    // appear elsewhere in the C++ we lint).
+    if (c == '#') {
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      size_t start = i + 2;
+      while (i < text.size() && text[i] != '\n') ++i;
+      add_comment(line, text.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      size_t start = i + 2;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      size_t end = std::min(i, text.size());
+      i = std::min(i + 2, text.size());
+      // Attach the whole block body to its first line; good enough for
+      // waivers (which are single-line idioms anyway).
+      add_comment(start_line, text.substr(start, end - start));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"') {
+      size_t d0 = i + 2;
+      size_t dp = text.find('(', d0);
+      if (dp != std::string_view::npos) {
+        std::string close = ")" + std::string(text.substr(d0, dp - d0)) + "\"";
+        size_t endpos = text.find(close, dp + 1);
+        size_t stop = endpos == std::string_view::npos
+                          ? text.size()
+                          : endpos + close.size();
+        for (size_t k = i; k < stop; ++k)
+          if (text[k] == '\n') ++line;
+        out.tokens.push_back({tok_kind::str, "R\"...\"", line});
+        i = stop;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = i++;
+      while (i < text.size() && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;
+        if (text[i] == '\n') ++line;  // unterminated; keep line count sane
+        ++i;
+      }
+      if (i < text.size()) ++i;
+      out.tokens.push_back(
+          {tok_kind::str, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t start = i;
+      while (i < text.size() && ident_char(text[i])) ++i;
+      out.tokens.push_back(
+          {tok_kind::ident, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < text.size() &&
+             (ident_char(text[i]) || text[i] == '.' ||
+              ((text[i] == '+' || text[i] == '-') && i > start &&
+               (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {tok_kind::number, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation: longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      if (text.substr(i, 3) == p) {
+        out.tokens.push_back({tok_kind::punct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPuncts2) {
+      if (text.substr(i, 2) == p) {
+        out.tokens.push_back({tok_kind::punct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({tok_kind::punct, std::string(1, c), line});
+    ++i;
+  }
+  out.last_line = line;
+  return out;
+}
+
+// ---- shared token helpers ------------------------------------------------
+
+bool is(const token& t, std::string_view s) { return t.text == s; }
+
+bool is_ident(const token& t) { return t.kind == tok_kind::ident; }
+
+// Index of the matching closer for the opener at `open` ("(", "[", "{").
+// Returns tokens.size() when unbalanced (we then give up quietly — the
+// compiler will have plenty to say about such a file).
+size_t match_forward(const std::vector<token>& toks, size_t open,
+                     std::string_view open_s, std::string_view close_s) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::punct) continue;
+    if (toks[i].text == open_s) ++depth;
+    else if (toks[i].text == close_s && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// Matches a template argument list starting at the '<' at `open`. Angle
+// brackets are not real brackets, so this is heuristic: it tracks <>
+// nesting and bails out on tokens that cannot appear in a type argument
+// position (";", "{"), returning npos.
+size_t match_angles(const std::vector<token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">") {
+      if (--depth == 0) return i;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (t == ";" || t == "{") {
+      return toks.size();
+    }
+  }
+  return toks.size();
+}
+
+bool mentions_memory_order(const std::vector<token>& toks, size_t lo,
+                           size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    if (is_ident(toks[i]) &&
+        toks[i].text.rfind("memory_order", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::set<std::string>& atomic_member_ops() {
+  static const std::set<std::string> ops = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong"};
+  return ops;
+}
+
+// Statement-level keywords after which a bare ident is NOT a declaration.
+const std::set<std::string>& non_decl_keywords() {
+  static const std::set<std::string> k = {
+      "return",  "delete", "new",    "throw",  "case",     "goto",
+      "co_return", "co_yield", "co_await", "sizeof", "typeid", "else",
+      "do",      "if",     "while",  "for",    "switch",   "operator",
+      "const_cast", "static_cast", "dynamic_cast", "reinterpret_cast"};
+  return k;
+}
+
+// ---- per-file analysis state ---------------------------------------------
+
+struct file_ctx {
+  std::string path;
+  std::string fname;  // basename, for file-scoped rules
+  const lexed* lx = nullptr;
+  std::vector<finding>* out = nullptr;
+
+  // Names declared std::atomic / atomic_ref somewhere in this file, plus
+  // the token indices of those declarations (skipped by the operator-form
+  // scan).
+  std::set<std::string> atomic_names;
+  std::set<size_t> atomic_decl_tokens;
+
+  // Loop depth per token index (for/while/do bodies, braced or single
+  // statement).
+  std::vector<int> loop_depth;
+
+  void add(rule r, int line, std::string msg) {
+    out->push_back({r, path, line, std::move(msg), false, {}});
+  }
+};
+
+// Collect `std::atomic<...> name` / `atomic_ref<...> name` declarations.
+// Also catches nested forms (std::vector<std::atomic<T>> name) and
+// pointer/array declarators.
+void collect_atomic_decls(file_ctx& fc) {
+  const auto& toks = fc.lx->tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i])) continue;
+    if (toks[i].text != "atomic" && toks[i].text != "atomic_ref") continue;
+    if (i + 1 >= toks.size() || !is(toks[i + 1], "<")) continue;
+    size_t close = match_angles(toks, i + 1);
+    if (close >= toks.size()) continue;
+    // Walk out of any enclosing template closers (vector<atomic<T>> name)
+    // and through declarator punctuation to the declared name.
+    size_t j = close + 1;
+    while (j < toks.size() &&
+           (is(toks[j], ">") || is(toks[j], ">>") || is(toks[j], "*") ||
+            is(toks[j], "&"))) {
+      ++j;
+    }
+    if (j < toks.size() && is_ident(toks[j]) &&
+        !non_decl_keywords().count(toks[j].text)) {
+      fc.atomic_names.insert(toks[j].text);
+      fc.atomic_decl_tokens.insert(j);
+    }
+  }
+}
+
+// Fill fc.loop_depth: +1 inside every for/while/do body. Braced bodies
+// nest via a brace stack; unbraced bodies extend to the next ';' at the
+// loop's paren depth.
+void compute_loop_depth(file_ctx& fc) {
+  const auto& toks = fc.lx->tokens;
+  fc.loop_depth.assign(toks.size(), 0);
+  struct frame {
+    bool is_loop;
+  };
+  std::vector<frame> braces;
+  int depth = 0;
+  // Pending loop header: we saw for/while and are waiting for the body.
+  int pending = 0;           // how many loop headers await a body
+  int header_parens = 0;     // paren depth inside the pending header
+  int unbraced = 0;          // active unbraced loop bodies (until ';')
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (is_ident(t) && (t.text == "for" || t.text == "while")) {
+      // `while` of a do-while also matches; its "body" is the condition,
+      // which ends at ';' — harmless.
+      ++pending;
+      header_parens = 0;
+    } else if (is_ident(t) && t.text == "do") {
+      ++pending;
+      header_parens = 0;
+    } else if (pending > 0 && is(t, "(")) {
+      ++header_parens;
+    } else if (pending > 0 && is(t, ")")) {
+      --header_parens;
+    } else if (is(t, "{")) {
+      bool body = pending > 0 && header_parens == 0;
+      if (body) --pending;
+      braces.push_back({body});
+      if (body) ++depth;
+    } else if (is(t, "}")) {
+      if (!braces.empty()) {
+        if (braces.back().is_loop) --depth;
+        braces.pop_back();
+      }
+    } else if (pending > 0 && header_parens == 0 && is(t, ";")) {
+      // `for (...) stmt;` — the pending loop had a one-statement body
+      // that just ended. (Also catches `do ... while (...);`.)
+      --pending;
+      if (unbraced > 0) --unbraced;
+    } else if (pending > 0 && header_parens == 0 && !is(t, "(")) {
+      // First body token of an unbraced loop.
+      if (unbraced < pending) unbraced = pending;
+    }
+    fc.loop_depth[i] = depth + unbraced;
+  }
+}
+
+// ---- rule: atomics-order / atomics-rationale -----------------------------
+
+void check_atomics(file_ctx& fc) {
+  const auto& toks = fc.lx->tokens;
+  const bool rationale_scope =
+      fc.fname.find("scatter") != std::string::npos ||
+      fc.fname.find("deque") != std::string::npos;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    // Member-call form: x.load(...), p->fetch_add(...).
+    if (is_ident(t) && atomic_member_ops().count(t.text) && i > 0 &&
+        (is(toks[i - 1], ".") || is(toks[i - 1], "->")) &&
+        i + 1 < toks.size() && is(toks[i + 1], "(")) {
+      size_t close = match_forward(toks, i + 1, "(", ")");
+      if (!mentions_memory_order(toks, i + 1, close)) {
+        fc.add(rule::atomics_order, t.line,
+               "atomic ." + t.text +
+                   "() without an explicit memory_order (implicit seq_cst)");
+      } else if (rationale_scope && fc.loop_depth[i] > 0 &&
+                 (t.text == "fetch_add" || t.text == "fetch_sub")) {
+        // Hot-loop RMW in a scatter/deque file: demand a nearby rationale.
+        bool has_comment = false;
+        for (int l = t.line; l >= t.line - 4 && !has_comment; --l) {
+          has_comment = fc.lx->comments.count(l) != 0;
+        }
+        if (!has_comment) {
+          fc.add(rule::atomics_rationale, t.line,
+                 "." + t.text +
+                     "() in a loop in a scatter/deque file needs a rationale "
+                     "comment within the 4 lines above");
+        }
+      }
+      continue;
+    }
+    // Operator form on a declared atomic: implicit seq_cst RMW/store.
+    if (is_ident(t) && fc.atomic_names.count(t.text) &&
+        !fc.atomic_decl_tokens.count(i) &&
+        !(i > 0 && (is(toks[i - 1], ".") || is(toks[i - 1], "->") ||
+                    is(toks[i - 1], "::"))) &&
+        // `int count = 0;` — prev ident means this is a declaration of a
+        // different (non-atomic) variable that shares the name.
+        !(i > 0 && is_ident(toks[i - 1]) &&
+          !non_decl_keywords().count(toks[i - 1].text))) {
+      bool pre_incdec =
+          i > 0 && (is(toks[i - 1], "++") || is(toks[i - 1], "--"));
+      bool post_op = false;
+      std::string op;
+      if (i + 1 < toks.size() && toks[i + 1].kind == tok_kind::punct) {
+        const std::string& n = toks[i + 1].text;
+        if (n == "++" || n == "--" || n == "+=" || n == "-=" || n == "&=" ||
+            n == "|=" || n == "^=" || n == "=") {
+          post_op = true;
+          op = n;
+        }
+      }
+      if (pre_incdec || post_op) {
+        fc.add(rule::atomics_order, t.line,
+               "operator " + (pre_incdec ? toks[i - 1].text : op) +
+                   " on atomic '" + t.text +
+                   "' is an implicit seq_cst operation; use an explicit "
+                   "memory_order member call");
+      }
+    }
+  }
+}
+
+// ---- rule: arena-lifetime ------------------------------------------------
+
+// Statement-oriented scan with a brace stack. An alloc-bound variable dies
+// when the brace level of its governing arena_scope closes; returning it or
+// storing it into a member (name_ / this->name) while the scope is active
+// or after it died is a finding.
+void check_arena_lifetime(file_ctx& fc) {
+  const auto& toks = fc.lx->tokens;
+  struct var_info {
+    int decl_depth = 0;
+    int scope_depth = 0;  // innermost arena_scope depth at alloc; 0 = none
+    bool dead = false;    // its arena_scope's brace has closed
+    int alloc_line = 0;
+  };
+  std::map<std::string, var_info> vars;
+  std::vector<int> scope_stack;  // brace depths holding an arena_scope
+  int depth = 0;
+
+  auto stmt_has_alloc = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (is_ident(toks[i]) &&
+          (toks[i].text == "alloc" || toks[i].text == "alloc_aligned" ||
+           toks[i].text == "alloc_bytes") &&
+          i > 0 && (is(toks[i - 1], ".") || is(toks[i - 1], "->"))) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t stmt_start = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (is(t, "{")) {
+      ++depth;
+      stmt_start = i + 1;
+      continue;
+    }
+    if (is(t, "}")) {
+      // Close any arena_scope at this depth: everything it governed dies.
+      while (!scope_stack.empty() && scope_stack.back() == depth) {
+        scope_stack.pop_back();
+        for (auto& [name, v] : vars) {
+          if (!v.dead && v.scope_depth == depth) v.dead = true;
+        }
+      }
+      for (auto it = vars.begin(); it != vars.end();) {
+        if (it->second.decl_depth >= depth) it = vars.erase(it);
+        else ++it;
+      }
+      --depth;
+      stmt_start = i + 1;
+      continue;
+    }
+    if (!is(t, ";")) continue;
+
+    // Process statement [stmt_start, i).
+    size_t lo = stmt_start, hi = i;
+    stmt_start = i + 1;
+    if (lo >= hi) continue;
+
+    // arena_scope declaration?
+    for (size_t k = lo; k < hi; ++k) {
+      if (is_ident(toks[k]) && toks[k].text == "arena_scope") {
+        scope_stack.push_back(depth);
+        break;
+      }
+    }
+
+    // return statement referencing a tracked allocation?
+    if (is_ident(toks[lo]) && toks[lo].text == "return") {
+      for (size_t k = lo + 1; k < hi; ++k) {
+        if (!is_ident(toks[k])) continue;
+        auto it = vars.find(toks[k].text);
+        if (it == vars.end() || it->second.scope_depth == 0) continue;
+        fc.add(rule::arena_lifetime, toks[k].line,
+               "'" + toks[k].text + "' (arena allocation from line " +
+                   std::to_string(it->second.alloc_line) +
+                   (it->second.dead
+                        ? ") is returned after its arena_scope rewound"
+                        : ") escapes the arena_scope that owns it via "
+                          "return"));
+        break;
+      }
+      continue;
+    }
+
+    // Member store of a tracked allocation: `name_ = x` / `this->m = x`.
+    for (size_t k = lo; k + 1 < hi; ++k) {
+      if (!is(toks[k + 1], "=")) continue;
+      if (!is_ident(toks[k])) continue;
+      bool member_target =
+          (!toks[k].text.empty() && toks[k].text.back() == '_') ||
+          (k >= 2 && is(toks[k - 1], "->") && is_ident(toks[k - 2]) &&
+           toks[k - 2].text == "this");
+      if (!member_target) continue;
+      for (size_t m = k + 2; m < hi; ++m) {
+        if (!is_ident(toks[m])) continue;
+        auto it = vars.find(toks[m].text);
+        if (it == vars.end() || it->second.scope_depth == 0) continue;
+        fc.add(rule::arena_lifetime, toks[m].line,
+               "'" + toks[m].text + "' (arena allocation from line " +
+                   std::to_string(it->second.alloc_line) +
+                   ") is stored into member '" + toks[k].text +
+                   "', which outlives its arena_scope");
+        break;
+      }
+      break;
+    }
+
+    // Allocation binding: record the declared/assigned name.
+    if (!stmt_has_alloc(lo, hi)) continue;
+    // Find the bound name: ident immediately before the first '=' at
+    // top nesting, else (constructor form `span<T> s(alloc...)`) the ident
+    // before the first '(' whose contents mention alloc.
+    std::string bound;
+    int bound_line = 0;
+    int nest = 0;
+    for (size_t k = lo; k < hi; ++k) {
+      const std::string& x = toks[k].text;
+      if (x == "(" || x == "[") ++nest;
+      else if (x == ")" || x == "]") --nest;
+      else if (nest == 0 && x == "=" && k > lo && is_ident(toks[k - 1])) {
+        bound = toks[k - 1].text;
+        bound_line = toks[k - 1].line;
+        break;
+      } else if (nest == 1 && x == "(" ) {
+      }
+    }
+    if (bound.empty()) {
+      for (size_t k = lo + 1; k < hi; ++k) {
+        if (is(toks[k], "(") && is_ident(toks[k - 1]) &&
+            !non_decl_keywords().count(toks[k - 1].text)) {
+          size_t close = match_forward(toks, k, "(", ")");
+          if (close < hi && stmt_has_alloc(k, close)) {
+            bound = toks[k - 1].text;
+            bound_line = toks[k - 1].line;
+          }
+          break;
+        }
+      }
+    }
+    if (!bound.empty()) {
+      var_info v;
+      v.decl_depth = depth;
+      v.scope_depth = scope_stack.empty() ? 0 : scope_stack.back();
+      v.alloc_line = bound_line;
+      vars[bound] = v;
+    }
+  }
+}
+
+// ---- rule: parallel-capture ----------------------------------------------
+
+const std::set<std::string>& parallel_entry_points() {
+  static const std::set<std::string> p = {"parallel_for", "parallel_for_blocks",
+                                          "par_do", "fork_join",
+                                          "parallel_for_rec"};
+  return p;
+}
+
+void check_parallel_captures(file_ctx& fc) {
+  const auto& toks = fc.lx->tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i]) || !parallel_entry_points().count(toks[i].text))
+      continue;
+    if (!is(toks[i + 1], "(")) continue;
+    size_t call_close = match_forward(toks, i + 1, "(", ")");
+    if (call_close >= toks.size()) continue;
+    // Find each by-reference lambda among the arguments.
+    for (size_t j = i + 2; j < call_close; ++j) {
+      if (!is(toks[j], "[")) continue;
+      size_t cap_close = match_forward(toks, j, "[", "]");
+      if (cap_close >= call_close) break;
+      bool by_ref = false;
+      for (size_t k = j + 1; k < cap_close; ++k) {
+        if (is(toks[k], "&") &&
+            (k + 1 >= cap_close || !is_ident(toks[k + 1]))) {
+          by_ref = true;  // capture-default [&], not a named [&x]
+        }
+      }
+      if (!by_ref) {
+        j = cap_close;
+        continue;
+      }
+      // Parameters.
+      std::set<std::string> locals = fc.atomic_names;  // atomics are exempt
+      size_t body_open = cap_close + 1;
+      if (body_open < call_close && is(toks[body_open], "(")) {
+        size_t pclose = match_forward(toks, body_open, "(", ")");
+        for (size_t k = body_open + 1; k < pclose; ++k) {
+          if (is_ident(toks[k]) &&
+              (k + 1 >= pclose ||
+               is(toks[k + 1], ",") || is(toks[k + 1], ")"))) {
+            locals.insert(toks[k].text);
+          }
+        }
+        body_open = pclose + 1;
+      }
+      while (body_open < call_close && !is(toks[body_open], "{")) ++body_open;
+      if (body_open >= call_close) continue;
+      size_t body_close = match_forward(toks, body_open, "{", "}");
+
+      bool stmt_decl = false;  // statement declared a local (for `, hi = …`)
+      int nest = 0;            // ()/[] nesting inside the body
+      for (size_t k = body_open + 1; k < body_close; ++k) {
+        if (toks[k].kind == tok_kind::punct) {
+          const std::string& x = toks[k].text;
+          if (x == "(" || x == "[") ++nest;
+          else if (x == ")" || x == "]") --nest;
+          else if (x == ";" || x == "{" || x == "}") stmt_decl = false;
+          continue;
+        }
+        if (!is_ident(toks[k])) continue;
+        const std::string& name = toks[k].text;
+        // Declaration inside the body? (`type name`, `type& name`, …)
+        if (k > 0 &&
+            ((is_ident(toks[k - 1]) &&
+              !non_decl_keywords().count(toks[k - 1].text)) ||
+             ((is(toks[k - 1], "&") || is(toks[k - 1], "*") ||
+               is(toks[k - 1], ">")) &&
+              k >= 2 && (is_ident(toks[k - 2]) || is(toks[k - 2], ">"))))) {
+          locals.insert(name);
+          stmt_decl = true;
+          continue;
+        }
+        // Second declarator of the same statement: `size_t lo = a, hi = b;`
+        if (stmt_decl && nest == 0 && k > 0 && is(toks[k - 1], ",")) {
+          locals.insert(name);
+          continue;
+        }
+        if (locals.count(name)) continue;
+        // A write through a bare name? Exclude member/subscript targets.
+        if (k > 0 && (is(toks[k - 1], ".") || is(toks[k - 1], "->") ||
+                      is(toks[k - 1], "::"))) {
+          continue;
+        }
+        bool pre = k > 0 && (is(toks[k - 1], "++") || is(toks[k - 1], "--"));
+        bool post = false;
+        std::string op;
+        if (k + 1 < body_close && toks[k + 1].kind == tok_kind::punct) {
+          const std::string& n = toks[k + 1].text;
+          if (n == "=" || n == "+=" || n == "-=" || n == "*=" || n == "/=" ||
+              n == "%=" || n == "&=" || n == "|=" || n == "^=" ||
+              n == "<<=" || n == ">>=" || n == "++" || n == "--") {
+            post = true;
+            op = n;
+          }
+        }
+        if (pre || post) {
+          fc.add(rule::parallel_capture, toks[k].line,
+                 "by-reference write to captured local '" + name +
+                     "' inside a " + toks[i].text +
+                     " body (no per-index partition; not atomic)");
+        }
+      }
+      j = body_close;
+    }
+    i = call_close;
+  }
+}
+
+// ---- waivers -------------------------------------------------------------
+
+struct waiver {
+  std::vector<rule> rules;
+  std::string reason;
+  bool has_reason = false;
+  int line = 0;
+};
+
+std::vector<waiver> parse_waivers(const lexed& lx, const std::string& path,
+                                  std::vector<finding>& findings) {
+  std::vector<waiver> out;
+  for (const auto& [line, text] : lx.comments) {
+    size_t at = text.find("parsemi-check:");
+    if (at == std::string::npos) continue;
+    size_t allow = text.find("allow", at);
+    if (allow == std::string::npos) continue;
+    size_t open = text.find('(', allow);
+    size_t close = text.find(')', allow);
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      findings.push_back({rule::atomics_order, path, line,
+                          "malformed parsemi-check waiver (expected "
+                          "allow(<rule>) -- <reason>)",
+                          false,
+                          {}});
+      continue;
+    }
+    waiver w;
+    w.line = line;
+    std::string names = text.substr(open + 1, close - open - 1);
+    // `allow(<rule>)` with literal angle brackets is documentation of the
+    // waiver syntax (e.g. this tool's own header), not a waiver.
+    if (names.find('<') != std::string::npos) continue;
+    std::stringstream ss(names);
+    std::string one;
+    bool all_ok = true;
+    while (std::getline(ss, one, ',')) {
+      size_t b = one.find_first_not_of(" \t");
+      size_t e = one.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      rule r;
+      if (rule_from_name(one.substr(b, e - b + 1), r)) {
+        w.rules.push_back(r);
+      } else {
+        findings.push_back({rule::atomics_order, path, line,
+                            "unknown rule '" + one.substr(b, e - b + 1) +
+                                "' in parsemi-check waiver",
+                            false,
+                            {}});
+        all_ok = false;
+      }
+    }
+    size_t dash = text.find("--", close);
+    if (dash != std::string::npos) {
+      size_t rb = text.find_first_not_of(" \t", dash + 2);
+      if (rb != std::string::npos) {
+        w.reason = text.substr(rb);
+        w.has_reason = true;
+      }
+    }
+    if (!w.has_reason) {
+      findings.push_back({rule::atomics_order, path, line,
+                          "parsemi-check waiver without a reason "
+                          "(append: -- <why this is sound>)",
+                          false,
+                          {}});
+      continue;
+    }
+    if (all_ok && !w.rules.empty()) out.push_back(w);
+  }
+  return out;
+}
+
+void apply_waivers(const std::vector<waiver>& waivers,
+                   std::vector<finding>& findings) {
+  for (finding& f : findings) {
+    for (const waiver& w : waivers) {
+      // A waiver covers its own line and the line below (comment-above
+      // idiom).
+      if (f.line != w.line && f.line != w.line + 1) continue;
+      if (std::find(w.rules.begin(), w.rules.end(), f.r) == w.rules.end())
+        continue;
+      f.waived = true;
+      f.waiver_reason = w.reason;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+// ---- public API ----------------------------------------------------------
+
+const char* rule_name(rule r) {
+  switch (r) {
+    case rule::atomics_order: return "atomics-order";
+    case rule::atomics_rationale: return "atomics-rationale";
+    case rule::arena_lifetime: return "arena-lifetime";
+    case rule::parallel_capture: return "parallel-capture";
+  }
+  return "?";
+}
+
+bool rule_from_name(std::string_view name, rule& out) {
+  for (int i = 0; i < kNumRules; ++i) {
+    rule r = static_cast<rule>(i);
+    if (name == rule_name(r)) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+analysis analyze_source(std::string_view text, std::string_view path) {
+  analysis a;
+  lexed lx = lex(text);
+  file_ctx fc;
+  fc.path = std::string(path);
+  size_t slash = fc.path.find_last_of('/');
+  fc.fname = slash == std::string::npos ? fc.path : fc.path.substr(slash + 1);
+  fc.lx = &lx;
+  fc.out = &a.findings;
+  collect_atomic_decls(fc);
+  compute_loop_depth(fc);
+  check_atomics(fc);
+  check_arena_lifetime(fc);
+  check_parallel_captures(fc);
+  std::vector<waiver> waivers = parse_waivers(lx, fc.path, a.findings);
+  apply_waivers(waivers, a.findings);
+  std::sort(a.findings.begin(), a.findings.end(),
+            [](const finding& x, const finding& y) {
+              if (x.line != y.line) return x.line < y.line;
+              return static_cast<int>(x.r) < static_cast<int>(y.r);
+            });
+  return a;
+}
+
+std::vector<std::string> discover_files(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  const char* const subdirs[] = {"src", "tests", "bench", "tools", "examples"};
+  for (const char* sub : subdirs) {
+    fs::path base = fs::path(root) / sub;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path& p = it->path();
+      std::string name = p.filename().string();
+      if (it->is_directory()) {
+        if (name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+            (!name.empty() && name[0] == '.')) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      std::string ext = p.extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".cc") continue;
+      out.push_back(fs::relative(p, root).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string serialize_baseline(const std::vector<finding>& all) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const finding& f : all) {
+    if (f.waived) counts[{f.file, rule_name(f.r)}]++;
+  }
+  std::string out =
+      "# parsemi-check waiver baseline.\n"
+      "# One `<rule> <file> <count>` line per waived (file, rule) pair.\n"
+      "# Regenerate with: parsemi_check --write-baseline lint_baseline.txt\n";
+  for (const auto& [key, n] : counts) {
+    out += key.second + " " + key.first + " " + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> diff_baseline(std::string_view baseline_text,
+                                       const std::vector<finding>& all) {
+  std::map<std::pair<std::string, std::string>, int> want;
+  std::stringstream ss{std::string(baseline_text)};
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ls(line);
+    std::string r, f;
+    int n = 0;
+    if (ls >> r >> f >> n) want[{f, r}] = n;
+  }
+  std::map<std::pair<std::string, std::string>, int> have;
+  for (const finding& f : all) {
+    if (f.waived) have[{f.file, rule_name(f.r)}]++;
+  }
+  std::vector<std::string> drift;
+  for (const auto& [key, n] : have) {
+    auto it = want.find(key);
+    int w = it == want.end() ? 0 : it->second;
+    if (n > w) {
+      drift.push_back(key.first + ": " + std::to_string(n - w) + " new '" +
+                      key.second + "' waiver(s) not in the baseline");
+    } else if (n < w) {
+      drift.push_back(key.first + ": baseline records " + std::to_string(w) +
+                      " '" + key.second + "' waiver(s), found " +
+                      std::to_string(n) + " (stale entry; regenerate)");
+    }
+  }
+  for (const auto& [key, w] : want) {
+    if (!have.count(key)) {
+      drift.push_back(key.first + ": baseline records " + std::to_string(w) +
+                      " '" + key.second +
+                      "' waiver(s), found 0 (stale entry; regenerate)");
+    }
+  }
+  std::sort(drift.begin(), drift.end());
+  return drift;
+}
+
+std::vector<std::string> list_public_headers(const std::string& src_root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (auto it = fs::recursive_directory_iterator(src_root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory()) continue;
+    if (it->path().extension() != ".h") continue;
+    out.push_back(fs::relative(it->path(), src_root).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string tu_name_for(std::string_view header_rel) {
+  std::string mangled(header_rel);
+  for (char& c : mangled) {
+    if (c == '/' || c == '.') c = '_';
+  }
+  return "selfcheck__" + mangled + ".cpp";
+}
+
+std::vector<std::string> emit_header_tus(const std::string& src_root,
+                                         const std::string& out_dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+  std::vector<std::string> written;
+  for (const std::string& h : list_public_headers(src_root)) {
+    std::string name = tu_name_for(h);
+    std::string body =
+        "// Auto-generated by parsemi_check --emit-header-tus.\n"
+        "// Compiling this TU proves \"" + h + "\" is self-sufficient.\n"
+        "#include \"" + h + "\"\n";
+    fs::path dest = fs::path(out_dir) / name;
+    // Only rewrite on change so the header_selfcheck target stays
+    // incremental.
+    std::ifstream existing(dest);
+    std::string current((std::istreambuf_iterator<char>(existing)),
+                        std::istreambuf_iterator<char>());
+    if (current != body) {
+      std::ofstream f(dest);
+      f << body;
+    }
+    written.push_back(name);
+  }
+  return written;
+}
+
+}  // namespace parsemi_check

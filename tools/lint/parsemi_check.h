@@ -1,0 +1,107 @@
+// parsemi-check — the project-invariant static analyzer.
+//
+// A dependency-free lexical analyzer (own tokenizer + brace/paren/loop
+// tracker, no libclang) that enforces the concurrency and memory-plan
+// conventions the compiler cannot see. It is deliberately heuristic: the
+// rules key on the project's own idioms (explicit memory orders,
+// arena_scope checkpoint discipline, per-index partitioned parallel
+// bodies), and anything legitimately outside them is waived *in the code*
+// with a reason, budgeted by a checked-in baseline. Rules:
+//
+//   atomics-order      every std::atomic / atomic_ref load/store/RMW names
+//                      an explicit memory_order; operator forms (++, +=,
+//                      =) on declared atomics are implicit seq_cst and
+//                      always flagged.
+//   atomics-rationale  a fetch_add/fetch_sub lexically inside a loop in a
+//                      scatter/deque file must carry a nearby comment
+//                      saying why the hot-loop RMW is sound/required.
+//   arena-lifetime     a pointer/span bound from an arena alloc while an
+//                      arena_scope is active must not be returned or
+//                      stored into a member: the scope's rewind ends the
+//                      allocation's life at its closing brace.
+//   parallel-capture   a [&] lambda passed to parallel_for / fork_join /
+//                      par_do must not write a captured non-atomic local
+//                      through a bare name — writes must go through a
+//                      per-index partition (x[i] = ...) or an atomic.
+//
+// Waiver syntax, on the finding's line or the line above:
+//   // parsemi-check: allow(<rule>[, <rule>...]) -- <reason>
+// A waiver without a reason is itself a finding. Waived findings are
+// counted per (file, rule) and compared against lint_baseline.txt; any
+// drift — new waivers or stale entries — fails the run so the budget
+// stays deliberate.
+//
+// This header is the library surface shared by the CLI (parsemi_check)
+// and the analyzer's own unit tests (tests/parsemi_check_test.cpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parsemi_check {
+
+enum class rule {
+  atomics_order,
+  atomics_rationale,
+  arena_lifetime,
+  parallel_capture,
+};
+
+inline constexpr int kNumRules = 4;
+
+const char* rule_name(rule r);
+bool rule_from_name(std::string_view name, rule& out);
+
+struct finding {
+  rule r;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool waived = false;
+  std::string waiver_reason;
+};
+
+struct analysis {
+  std::vector<finding> findings;  // waived ones included, flagged
+};
+
+// Runs every rule over one translation unit's text. `path` is used for
+// diagnostics and for the rules that key on the file name (the
+// atomics-rationale scatter/deque scope).
+analysis analyze_source(std::string_view text, std::string_view path);
+
+// Recursively discovers .h/.cc/.cpp files under root/{src,tests,bench,
+// tools,examples}, skipping build trees, hidden directories, and the
+// lint_fixtures corpus (which is deliberately full of violations).
+// Returned paths are relative to root, sorted.
+std::vector<std::string> discover_files(const std::string& root);
+
+// ---- waiver baseline -----------------------------------------------------
+
+// Deterministic serialization of the waived findings: one
+// "<rule> <file> <count>" line per (file, rule), sorted, with a fixed
+// header. Byte-identical across runs over an unchanged tree (the replay
+// test asserts this).
+std::string serialize_baseline(const std::vector<finding>& all);
+
+// Compares recorded waivers against a baseline file's text. Returns
+// human-readable drift messages; empty means exact match.
+std::vector<std::string> diff_baseline(std::string_view baseline_text,
+                                       const std::vector<finding>& all);
+
+// ---- header self-sufficiency TUs ----------------------------------------
+
+// Every .h under src_root, path relative to src_root, sorted.
+std::vector<std::string> list_public_headers(const std::string& src_root);
+
+// "core/arena.h" -> "selfcheck__core_arena_h.cpp"
+std::string tu_name_for(std::string_view header_rel);
+
+// Writes one self-check TU per public header into out_dir (created if
+// absent): each TU includes exactly that header, so compiling it proves
+// the header is self-sufficient. Returns the TU file names written.
+std::vector<std::string> emit_header_tus(const std::string& src_root,
+                                         const std::string& out_dir);
+
+}  // namespace parsemi_check
