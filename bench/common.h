@@ -268,6 +268,11 @@ class bench_json {
       field("slots_per_record", s.slots_per_record());
       field("scatter_path", std::string(to_string(s.scatter_path_used)));
       field("scatter_atomics_saved", s.scatter_atomics_saved);
+      // Execution-model telemetry: a non-zero fallback count means the run
+      // was silently serialized (foreign caller, no pool routing).
+      field("sequential_fallbacks", static_cast<size_t>(s.sequential_fallbacks));
+      field("job_steals", static_cast<size_t>(s.job_steals));
+      field("job_queue_wait_ns", static_cast<size_t>(s.job_queue_wait_ns));
       row probe;
       if (s.scatter_path_used == scatter_path::cas) {
         probe.field("max_probe", s.max_probe);

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Differential gate over the scatter-path ablation sidecar.
+"""Differential gate over bench sidecars.
 
-Runs bench/ablation_scatter_paths (or takes an existing
-BENCH_ablation_scatter_paths.json via --json) and checks, per distribution,
-that every scatter path produced the SAME output: identical order-insensitive
-multiset checksum and identical key-run count. A path that corrupts, drops,
-or mis-groups records differs here even when it "looks fast".
+Runs a bench binary (or takes an existing BENCH_<name>.json via --json) and
+checks its correctness invariants. Which checks run is dispatched on the
+sidecar's "bench" field:
+
+  ablation_scatter_paths (default): per distribution, every scatter path
+    produced the SAME output — identical order-insensitive multiset checksum
+    and identical key-run count. A path that corrupts, drops, or mis-groups
+    records differs here even when it "looks fast".
+
+  throughput_concurrent: every concurrent submitter's output matched the
+    sequential reference (checksum_ok on every row, checksum and key_runs
+    constant down each distribution's submitter ladder) and not a single
+    sequential fallback was counted — concurrency changed nothing but the
+    wall clock.
 
 The sidecar is parsed with the standard json module, so this doubles as a
 strict validity check on the bench JSON writer (escaping, empty metric
@@ -14,10 +23,10 @@ maps, non-finite floats).
 Usage:
   scripts/bench_compare.py --bench build/bench/ablation_scatter_paths \
       [--n 200000] [--reps 1] [-- extra bench args]
+  scripts/bench_compare.py --bench build/bench/throughput_concurrent
   scripts/bench_compare.py --json BENCH_ablation_scatter_paths.json
 
-Exit status: 0 when all paths agree (and every expected path is present for
-every distribution), 1 on any mismatch.
+Exit status: 0 when every check passes, 1 on any mismatch.
 """
 
 import argparse
@@ -42,18 +51,21 @@ def load_sidecar_text(text):
 
 
 def run_bench(bench, n, reps, extra):
-    """Run the bench in a scratch directory; return the parsed sidecar."""
+    """Run the bench in a scratch directory; return the parsed sidecar.
+    The sidecar name follows the bench binary's name: a binary called
+    <name> writes BENCH_<name>.json into its working directory."""
     with tempfile.TemporaryDirectory(prefix="bench_compare.") as tmp:
         cmd = [os.path.abspath(bench), "--n", str(n), "--reps", str(reps)]
         cmd += extra
         print("+ " + " ".join(cmd), file=sys.stderr)
         subprocess.run(cmd, cwd=tmp, check=True)
-        path = os.path.join(tmp, "BENCH_ablation_scatter_paths.json")
+        name = os.path.basename(bench)
+        path = os.path.join(tmp, f"BENCH_{name}.json")
         with open(path) as f:
             return load_sidecar_text(f.read())
 
 
-def check(doc):
+def check_scatter_paths(doc):
     rows = doc.get("rows", [])
     if not rows:
         print("FAIL: sidecar has no rows", file=sys.stderr)
@@ -99,6 +111,64 @@ def check(doc):
     return ok
 
 
+def check_throughput(doc):
+    """The concurrent-throughput invariants: every row's checksum matched
+    the sequential reference in-binary (checksum_ok), checksum/key_runs are
+    constant down each distribution's submitter ladder, and zero sequential
+    fallbacks were counted anywhere."""
+    rows = doc.get("rows", [])
+    if not rows:
+        print("FAIL: sidecar has no rows", file=sys.stderr)
+        return False
+    by_dist = {}
+    ok = True
+    for row in rows:
+        for key in ("distribution", "submitters", "checksum", "checksum_ok",
+                    "key_runs", "sequential_fallbacks"):
+            if key not in row:
+                print(f"FAIL: row missing '{key}': {row}", file=sys.stderr)
+                return False
+        if row["checksum_ok"] != "yes":
+            print(f"FAIL: {row['distribution']} @ {row['submitters']} "
+                  f"submitters: a concurrent job's output did not match "
+                  f"the sequential reference", file=sys.stderr)
+            ok = False
+        if row["sequential_fallbacks"] != 0:
+            print(f"FAIL: {row['distribution']} @ {row['submitters']} "
+                  f"submitters: {row['sequential_fallbacks']} sequential "
+                  f"fallbacks (a caller was silently serialized)",
+                  file=sys.stderr)
+            ok = False
+        by_dist.setdefault(row["distribution"], []).append(row)
+
+    for dist, dist_rows in sorted(by_dist.items()):
+        baseline = dist_rows[0]
+        for r in dist_rows:
+            if r["checksum"] != baseline["checksum"]:
+                print(f"FAIL: {dist}: {r['submitters']} submitters checksum "
+                      f"{r['checksum']} != {baseline['submitters']}-submitter "
+                      f"baseline {baseline['checksum']}", file=sys.stderr)
+                ok = False
+            if r["key_runs"] != baseline["key_runs"]:
+                print(f"FAIL: {dist}: {r['submitters']} submitters key_runs "
+                      f"{r['key_runs']} != baseline {baseline['key_runs']}",
+                      file=sys.stderr)
+                ok = False
+        if ok:
+            print(f"ok: {dist}: {len(dist_rows)} ladder rows agree with the "
+                  f"sequential reference, zero fallbacks")
+    return ok
+
+
+def check(doc):
+    """Dispatch on the sidecar's bench name. Sidecars without a "bench"
+    field (or from the scatter ablation) get the scatter-path check — the
+    historical behaviour this module's unit tests pin down."""
+    if doc.get("bench") == "throughput_concurrent":
+        return check_throughput(doc)
+    return check_scatter_paths(doc)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", help="path to the ablation_scatter_paths binary")
@@ -119,7 +189,7 @@ def main():
 
     if not check(doc):
         sys.exit(1)
-    print("all scatter paths agree")
+    print("all checks passed")
 
 
 if __name__ == "__main__":

@@ -135,6 +135,85 @@ class CheckRowValidity(unittest.TestCase):
         self.assertTrue(ok)
 
 
+def make_throughput_row(dist="uniform", submitters=1, checksum="deadbeef",
+                        checksum_ok="yes", key_runs=42, fallbacks=0):
+    return {
+        "distribution": dist,
+        "submitters": submitters,
+        "jobs": submitters * 3,
+        "time_s": 0.5,
+        "checksum": checksum,
+        "checksum_ok": checksum_ok,
+        "key_runs": key_runs,
+        "sequential_fallbacks": fallbacks,
+        "job_steals": 17,
+    }
+
+
+def make_throughput_doc(dists=("uniform", "zipf"), ladder=(1, 2, 4)):
+    rows = [make_throughput_row(dist=d, submitters=s)
+            for d in dists for s in ladder]
+    return {"bench": "throughput_concurrent", "rows": rows}
+
+
+class CheckThroughput(unittest.TestCase):
+    """check() dispatches on doc["bench"]: throughput sidecars get the
+    concurrent-correctness gate (reference checksums, zero fallbacks)."""
+
+    def test_agreeing_ladder_passes(self):
+        ok, _ = run_check(make_throughput_doc())
+        self.assertTrue(ok)
+
+    def test_dispatch_goes_to_throughput_check(self):
+        # A throughput doc has none of the scatter-path keys; if dispatch
+        # regressed to the scatter check this would fail on missing keys.
+        doc = make_throughput_doc(dists=("uniform",), ladder=(1,))
+        ok, err = run_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_checksum_not_ok_fails(self):
+        doc = make_throughput_doc(dists=("uniform",))
+        doc["rows"][1]["checksum_ok"] = "no"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("sequential reference", err)
+
+    def test_nonzero_fallbacks_fail(self):
+        doc = make_throughput_doc(dists=("uniform",))
+        doc["rows"][0]["sequential_fallbacks"] = 3
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("fallback", err)
+
+    def test_checksum_drift_across_ladder_fails(self):
+        doc = make_throughput_doc(dists=("uniform",))
+        doc["rows"][-1]["checksum"] = "0badf00d"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("checksum", err)
+
+    def test_key_runs_drift_fails(self):
+        doc = make_throughput_doc(dists=("uniform",))
+        doc["rows"][-1]["key_runs"] = 7
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("key_runs", err)
+
+    def test_row_missing_key_fails(self):
+        for key in ("distribution", "submitters", "checksum", "checksum_ok",
+                    "key_runs", "sequential_fallbacks"):
+            doc = make_throughput_doc(dists=("uniform",), ladder=(1,))
+            del doc["rows"][0][key]
+            ok, err = run_check(doc)
+            self.assertFalse(ok, key)
+            self.assertIn(key, err)
+
+    def test_empty_throughput_doc_fails(self):
+        ok, err = run_check({"bench": "throughput_concurrent", "rows": []})
+        self.assertFalse(ok)
+        self.assertIn("no rows", err)
+
+
 class CliJsonStrictness(unittest.TestCase):
     """End-to-end over the CLI: --json files with hostile content."""
 

@@ -31,28 +31,31 @@ std::vector<std::pair<K, V>> collect_reduce(
     V identity = V{}, Eq eq = {}, const semisort_params& params = {}) {
   size_t n = pairs.size();
   if (n == 0) return {};
-  internal::context_binding bind(params);
-  auto eq_at = [&](uint64_t a, uint64_t b) {
-    return eq(pairs[a].first, pairs[b].first);
-  };
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      n, [&](size_t i) { return hash(pairs[i].first); }, params, bind.ctx());
-  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
-  size_t k = starts.size();
-  std::vector<std::pair<K, V>> out(k);
-  parallel_for(
-      0, k,
-      [&](size_t g) {
-        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
-        V acc = identity;
-        for (size_t i = lo; i < hi; ++i)
-          acc = reduce_fn(acc, pairs[sorted[i].index].second);
-        out[g] = {pairs[sorted[lo].index].first, acc};
-      },
-      1);
-  bind.finalize(params.stats);
+  std::vector<std::pair<K, V>> out;
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    auto eq_at = [&](uint64_t a, uint64_t b) {
+      return eq(pairs[a].first, pairs[b].first);
+    };
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        n, [&](size_t i) { return hash(pairs[i].first); }, params, bind.ctx());
+    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+    size_t k = starts.size();
+    out.resize(k);
+    parallel_for(
+        0, k,
+        [&](size_t g) {
+          size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
+          V acc = identity;
+          for (size_t i = lo; i < hi; ++i)
+            acc = reduce_fn(acc, pairs[sorted[i].index].second);
+          out[g] = {pairs[sorted[lo].index].first, acc};
+        },
+        1);
+    bind.finalize(params.stats);
+  });
   return out;
 }
 
@@ -63,23 +66,26 @@ std::vector<std::pair<K, size_t>> count_by_key(
     const semisort_params& params = {}) {
   size_t n = keys.size();
   if (n == 0) return {};
-  internal::context_binding bind(params);
-  auto eq_at = [&](uint64_t a, uint64_t b) { return eq(keys[a], keys[b]); };
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      n, [&](size_t i) { return hash(keys[i]); }, params, bind.ctx());
-  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
-  size_t k = starts.size();
-  std::vector<std::pair<K, size_t>> out(k);
-  parallel_for(
-      0, k,
-      [&](size_t g) {
-        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
-        out[g] = {keys[sorted[lo].index], hi - lo};
-      },
-      1);
-  bind.finalize(params.stats);
+  std::vector<std::pair<K, size_t>> out;
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    auto eq_at = [&](uint64_t a, uint64_t b) { return eq(keys[a], keys[b]); };
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        n, [&](size_t i) { return hash(keys[i]); }, params, bind.ctx());
+    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+    size_t k = starts.size();
+    out.resize(k);
+    parallel_for(
+        0, k,
+        [&](size_t g) {
+          size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
+          out[g] = {keys[sorted[lo].index], hi - lo};
+        },
+        1);
+    bind.finalize(params.stats);
+  });
   return out;
 }
 

@@ -43,12 +43,16 @@ grouped<Record> group_by_hashed(std::span<const Record> in, GetKey get_key = {},
                                 const semisort_params& params = {}) {
   grouped<Record> result;
   result.records.assign(in.begin(), in.end());
-  semisort_hashed_inplace(std::span<Record>(result.records), get_key, params);
-  if (in.empty()) return result;
-  result.group_start = pack_index(result.records.size(), [&](size_t i) {
-    return i == 0 || get_key(result.records[i]) != get_key(result.records[i - 1]);
+  internal::run_with_pool_override(params, [&] {
+    semisort_hashed_inplace(std::span<Record>(result.records), get_key,
+                            params);
+    if (in.empty()) return;
+    result.group_start = pack_index(result.records.size(), [&](size_t i) {
+      return i == 0 ||
+             get_key(result.records[i]) != get_key(result.records[i - 1]);
+    });
+    result.group_start.push_back(result.records.size());
   });
-  result.group_start.push_back(result.records.size());
   return result;
 }
 
@@ -60,17 +64,20 @@ template <typename Record, typename GetKey, typename Within>
 grouped<Record> group_by_hashed_sorted(std::span<const Record> in,
                                        GetKey get_key, Within within,
                                        const semisort_params& params = {}) {
-  grouped<Record> result = group_by_hashed(in, get_key, params);
-  parallel_for(
-      0, result.num_groups(),
-      [&](size_t g) {
-        auto lo = result.records.begin() +
-                  static_cast<ptrdiff_t>(result.group_start[g]);
-        auto hi = result.records.begin() +
-                  static_cast<ptrdiff_t>(result.group_start[g + 1]);
-        std::sort(lo, hi, within);
-      },
-      1);
+  grouped<Record> result;
+  internal::run_with_pool_override(params, [&] {
+    result = group_by_hashed(in, get_key, params);
+    parallel_for(
+        0, result.num_groups(),
+        [&](size_t g) {
+          auto lo = result.records.begin() +
+                    static_cast<ptrdiff_t>(result.group_start[g]);
+          auto hi = result.records.begin() +
+                    static_cast<ptrdiff_t>(result.group_start[g + 1]);
+          std::sort(lo, hi, within);
+        },
+        1);
+  });
   return result;
 }
 
@@ -97,18 +104,20 @@ grouped_indices group_by_index(std::span<const Record> in, GetKey get_key = {},
   size_t n = in.size();
   grouped_indices result;
   if (n == 0) return result;
-  internal::context_binding bind(params);
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      n, [&](size_t i) { return get_key(in[i]); }, params, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), internal::tag_eq_trivial);
-  result.order.resize(n);
-  parallel_for(0, n, [&](size_t i) {
-    result.order[i] = static_cast<size_t>(sorted[i].index);
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        n, [&](size_t i) { return get_key(in[i]); }, params, bind.ctx());
+    std::span<size_t> starts = internal::tag_group_starts(
+        sorted, bind.ctx(), internal::tag_eq_trivial);
+    result.order.resize(n);
+    parallel_for(0, n, [&](size_t i) {
+      result.order[i] = static_cast<size_t>(sorted[i].index);
+    });
+    result.group_start.assign(starts.begin(), starts.end());
+    result.group_start.push_back(n);
+    bind.finalize(params.stats);
   });
-  result.group_start.assign(starts.begin(), starts.end());
-  result.group_start.push_back(n);
-  bind.finalize(params.stats);
   return result;
 }
 
@@ -121,20 +130,23 @@ grouped<T> group_by(std::span<const T> in, KeyFn key_of, HashFn hash,
   size_t n = in.size();
   grouped<T> result;
   if (n == 0) return result;
-  internal::context_binding bind(params);
-  auto eq_at = [&](uint64_t a, uint64_t b) {
-    return eq(key_of(in[a]), key_of(in[b]));
-  };
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      n, [&](size_t i) { return hash(key_of(in[i])); }, params, bind.ctx());
-  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
-  result.records.resize(n);
-  parallel_for(0, n, [&](size_t i) { result.records[i] = in[sorted[i].index]; });
-  result.group_start.assign(starts.begin(), starts.end());
-  result.group_start.push_back(n);
-  bind.finalize(params.stats);
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    auto eq_at = [&](uint64_t a, uint64_t b) {
+      return eq(key_of(in[a]), key_of(in[b]));
+    };
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        n, [&](size_t i) { return hash(key_of(in[i])); }, params, bind.ctx());
+    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+    result.records.resize(n);
+    parallel_for(0, n,
+                 [&](size_t i) { result.records[i] = in[sorted[i].index]; });
+    result.group_start.assign(starts.begin(), starts.end());
+    result.group_start.push_back(n);
+    bind.finalize(params.stats);
+  });
   return result;
 }
 

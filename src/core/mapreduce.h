@@ -40,57 +40,60 @@ std::vector<std::pair<K, Acc>> map_reduce(std::span<const Input> inputs,
                                           Eq eq = {},
                                           const semisort_params& params = {}) {
   size_t n = inputs.size();
-  size_t p = static_cast<size_t>(num_workers());
-  size_t block = std::max<size_t>(1, n / (8 * p) + 1);
-  size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
+  std::vector<std::pair<K, Acc>> out;
+  internal::run_with_pool_override(params, [&] {
+    size_t p = static_cast<size_t>(num_workers());
+    size_t block = std::max<size_t>(1, n / (8 * p) + 1);
+    size_t num_blocks = n == 0 ? 0 : (n + block - 1) / block;
 
-  // Map phase: per-block emission buffers.
-  std::vector<std::vector<std::pair<K, V>>> emitted(num_blocks);
-  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
-    auto emit = [&](K key, V value) {
-      emitted[b].emplace_back(std::move(key), std::move(value));
+    // Map phase: per-block emission buffers.
+    std::vector<std::vector<std::pair<K, V>>> emitted(num_blocks);
+    parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+      auto emit = [&](K key, V value) {
+        emitted[b].emplace_back(std::move(key), std::move(value));
+      };
+      for (size_t i = lo; i < hi; ++i) map_fn(inputs[i], emit);
+    });
+
+    // Concatenate the buffers (scan over sizes, parallel move).
+    std::vector<size_t> offsets(num_blocks);
+    for (size_t b = 0; b < num_blocks; ++b) offsets[b] = emitted[b].size();
+    size_t total = scan_exclusive_inplace(std::span<size_t>(offsets));
+    std::vector<std::pair<K, V>> pairs(total);
+    parallel_for(
+        0, num_blocks,
+        [&](size_t b) {
+          std::move(emitted[b].begin(), emitted[b].end(),
+                    pairs.begin() + static_cast<ptrdiff_t>(offsets[b]));
+        },
+        1);
+    if (total == 0) return;
+
+    // Shuffle + reduce on the tag spine.
+    internal::context_binding bind(params);
+    auto eq_at = [&](uint64_t a, uint64_t b) {
+      return eq(pairs[a].first, pairs[b].first);
     };
-    for (size_t i = lo; i < hi; ++i) map_fn(inputs[i], emit);
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        total, [&](size_t i) { return hash(pairs[i].first); }, params,
+        bind.ctx());
+    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+    size_t k = starts.size();
+    out.resize(k);
+    parallel_for(
+        0, k,
+        [&](size_t g) {
+          size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : total;
+          Acc acc = init;
+          for (size_t i = lo; i < hi; ++i)
+            acc = reduce_fn(std::move(acc), pairs[sorted[i].index].second);
+          out[g] = {pairs[sorted[lo].index].first, std::move(acc)};
+        },
+        1);
+    bind.finalize(params.stats);
   });
-
-  // Concatenate the buffers (scan over sizes, parallel move).
-  std::vector<size_t> offsets(num_blocks);
-  for (size_t b = 0; b < num_blocks; ++b) offsets[b] = emitted[b].size();
-  size_t total = scan_exclusive_inplace(std::span<size_t>(offsets));
-  std::vector<std::pair<K, V>> pairs(total);
-  parallel_for(
-      0, num_blocks,
-      [&](size_t b) {
-        std::move(emitted[b].begin(), emitted[b].end(),
-                  pairs.begin() + static_cast<ptrdiff_t>(offsets[b]));
-      },
-      1);
-  if (total == 0) return {};
-
-  // Shuffle + reduce on the tag spine.
-  internal::context_binding bind(params);
-  auto eq_at = [&](uint64_t a, uint64_t b) {
-    return eq(pairs[a].first, pairs[b].first);
-  };
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      total, [&](size_t i) { return hash(pairs[i].first); }, params,
-      bind.ctx());
-  internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), eq_at);
-  size_t k = starts.size();
-  std::vector<std::pair<K, Acc>> out(k);
-  parallel_for(
-      0, k,
-      [&](size_t g) {
-        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : total;
-        Acc acc = init;
-        for (size_t i = lo; i < hi; ++i)
-          acc = reduce_fn(std::move(acc), pairs[sorted[i].index].second);
-        out[g] = {pairs[sorted[lo].index].first, std::move(acc)};
-      },
-      1);
-  bind.finalize(params.stats);
   return out;
 }
 

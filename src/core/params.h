@@ -19,6 +19,8 @@
 
 namespace parsemi {
 
+class worker_pool;  // scheduler/scheduler.h
+
 // The Phase 3 placement strategy a run actually executed (core/scatter.h):
 //   cas      — one CAS + probe per record (the paper's §4 scatter)
 //   buffered — per-worker write-combining buffers, slot ranges claimed in
@@ -56,6 +58,19 @@ struct semisort_stats {
   size_t peak_scratch_bytes = 0;
   size_t arena_allocs = 0;
   size_t scratch_capacity_bytes = 0;
+
+  // --- execution-model telemetry (scheduler/scheduler.h) ---
+  // fork_joins this call ran sequentially because the executing thread was
+  // foreign to a multi-worker pool — the old silent fallback, now counted.
+  // Zero whenever the call runs inside its pool (pool member, params.pool
+  // routing, or a job_gateway submission).
+  uint64_t sequential_fallbacks = 0;
+  // When the call ran inside an externally submitted job (job_gateway /
+  // worker_pool::run): steals of that job's subtasks observed so far, and
+  // how long the job waited in the intake queue before starting. Zero for
+  // plain calls on a pool member thread.
+  uint64_t job_steals = 0;
+  uint64_t job_queue_wait_ns = 0;
 
   // --- scatter engine telemetry (successful attempt only) ---
   // Which Phase 3 path the run executed (adaptive selection or override).
@@ -189,6 +204,13 @@ struct semisort_params {
                                     // scratch API (core/workspace.h); its
                                     // embedded context is used when
                                     // `context` is null. Prefer `context`.
+  worker_pool* pool = nullptr;      // executor override: a caller foreign
+                                    // to this pool has the whole call
+                                    // shipped through worker_pool::run (so
+                                    // it runs with full pool parallelism
+                                    // instead of the counted sequential
+                                    // fallback); pool members run inline.
+                                    // nullptr = the calling thread's pool.
 
   // Rejects configurations the algorithm cannot run with. Called by the
   // public entry points; throws std::invalid_argument naming the offending

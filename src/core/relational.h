@@ -47,54 +47,58 @@ std::vector<join_row> equi_join(std::span<const LeftRecord> left,
   size_t nl = left.size(), nr = right.size();
   size_t n = nl + nr;
   if (n == 0) return {};
-  internal::context_binding bind(params);
-  arena& scratch = bind.ctx().scratch;
+  std::vector<join_row> out;
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    arena& scratch = bind.ctx().scratch;
 
-  // Tag positions 0..nl-1 are left rows, nl..n-1 are right rows.
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      n,
-      [&](size_t i) {
-        return i < nl ? left_key(left[i]) : right_key(right[i - nl]);
-      },
-      params, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), internal::tag_eq_trivial);
+    // Tag positions 0..nl-1 are left rows, nl..n-1 are right rows.
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        n,
+        [&](size_t i) {
+          return i < nl ? left_key(left[i]) : right_key(right[i - nl]);
+        },
+        params, bind.ctx());
+    std::span<size_t> starts = internal::tag_group_starts(
+        sorted, bind.ctx(), internal::tag_eq_trivial);
 
-  // Exact output sizing: per-group left-count × right-count, scanned.
-  size_t num_groups = starts.size();
-  std::span<size_t> out_offset(scratch.alloc<size_t>(num_groups), num_groups);
-  parallel_for(0, num_groups, [&](size_t g) {
-    size_t lo = starts[g], hi = g + 1 < num_groups ? starts[g + 1] : n;
-    size_t lefts = 0;
-    for (size_t i = lo; i < hi; ++i) lefts += (sorted[i].index < nl);
-    out_offset[g] = lefts * (hi - lo - lefts);
-  });
-  size_t scan_blocks = internal::scan_num_blocks(num_groups);
-  std::span<size_t> scan_scratch(scratch.alloc<size_t>(scan_blocks),
-                                 scan_blocks);
-  size_t out_size =
-      scan_exclusive_inplace(out_offset, size_t{0}, scan_scratch);
+    // Exact output sizing: per-group left-count × right-count, scanned.
+    size_t num_groups = starts.size();
+    std::span<size_t> out_offset(scratch.alloc<size_t>(num_groups),
+                                 num_groups);
+    parallel_for(0, num_groups, [&](size_t g) {
+      size_t lo = starts[g], hi = g + 1 < num_groups ? starts[g + 1] : n;
+      size_t lefts = 0;
+      for (size_t i = lo; i < hi; ++i) lefts += (sorted[i].index < nl);
+      out_offset[g] = lefts * (hi - lo - lefts);
+    });
+    size_t scan_blocks = internal::scan_num_blocks(num_groups);
+    std::span<size_t> scan_scratch(scratch.alloc<size_t>(scan_blocks),
+                                   scan_blocks);
+    size_t out_size =
+        scan_exclusive_inplace(out_offset, size_t{0}, scan_scratch);
 
-  std::vector<join_row> out(out_size);
-  parallel_for(
-      0, num_groups,
-      [&](size_t g) {
-        size_t lo = starts[g], hi = g + 1 < num_groups ? starts[g + 1] : n;
-        size_t w = out_offset[g];
-        for (size_t i = lo; i < hi; ++i) {
-          size_t a = sorted[i].index;
-          if (a >= nl) continue;
-          for (size_t j = lo; j < hi; ++j) {
-            size_t b = sorted[j].index;
-            if (b >= nl) {
-              out[w++] = {sorted[i].key, left_value(left[a]),
-                          right_value(right[b - nl])};
+    out.resize(out_size);
+    parallel_for(
+        0, num_groups,
+        [&](size_t g) {
+          size_t lo = starts[g], hi = g + 1 < num_groups ? starts[g + 1] : n;
+          size_t w = out_offset[g];
+          for (size_t i = lo; i < hi; ++i) {
+            size_t a = sorted[i].index;
+            if (a >= nl) continue;
+            for (size_t j = lo; j < hi; ++j) {
+              size_t b = sorted[j].index;
+              if (b >= nl) {
+                out[w++] = {sorted[i].key, left_value(left[a]),
+                            right_value(right[b - nl])};
+              }
             }
           }
-        }
-      },
-      1);
-  bind.finalize(params.stats);
+        },
+        1);
+    bind.finalize(params.stats);
+  });
   return out;
 }
 
@@ -107,24 +111,27 @@ std::vector<std::pair<uint64_t, Acc>> group_aggregate(
     Acc init, Fold fold, const semisort_params& params = {}) {
   size_t n = rows.size();
   if (n == 0) return {};
-  internal::context_binding bind(params);
-  std::span<internal::key_tag> sorted = internal::tag_semisort(
-      n, [&](size_t i) { return get_key(rows[i]); }, params, bind.ctx());
-  std::span<size_t> starts =
-      internal::tag_group_starts(sorted, bind.ctx(), internal::tag_eq_trivial);
-  size_t k = starts.size();
-  std::vector<std::pair<uint64_t, Acc>> out(k);
-  parallel_for(
-      0, k,
-      [&](size_t g) {
-        size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
-        Acc acc = init;
-        for (size_t i = lo; i < hi; ++i)
-          acc = fold(std::move(acc), get_value(rows[sorted[i].index]));
-        out[g] = {sorted[lo].key, std::move(acc)};
-      },
-      1);
-  bind.finalize(params.stats);
+  std::vector<std::pair<uint64_t, Acc>> out;
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    std::span<internal::key_tag> sorted = internal::tag_semisort(
+        n, [&](size_t i) { return get_key(rows[i]); }, params, bind.ctx());
+    std::span<size_t> starts = internal::tag_group_starts(
+        sorted, bind.ctx(), internal::tag_eq_trivial);
+    size_t k = starts.size();
+    out.resize(k);
+    parallel_for(
+        0, k,
+        [&](size_t g) {
+          size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : n;
+          Acc acc = init;
+          for (size_t i = lo; i < hi; ++i)
+            acc = fold(std::move(acc), get_value(rows[sorted[i].index]));
+          out[g] = {sorted[lo].key, std::move(acc)};
+        },
+        1);
+    bind.finalize(params.stats);
+  });
   return out;
 }
 

@@ -347,7 +347,7 @@ scatter_result scatter_buffered(std::span<const Record> in,
       (num_buckets + buckets_per_group - 1) / buckets_per_group;
   constexpr size_t cap =
       std::max<size_t>(1, internal::kScatterBufferBytes / sizeof(Record));
-  size_t lanes = pipeline_context::num_scratch_lanes();
+  size_t lanes = ctx.num_scratch_lanes();
 
   arena& scratch = ctx.scratch;
   // Per-bucket claim cursors (slots taken from the bucket's front so far).
@@ -411,8 +411,7 @@ scatter_result scatter_buffered(std::span<const Record> in,
       }
     }
     size_t b = plan.bucket_of(get_key(rec));
-    size_t lg = pipeline_context::scratch_lane() * num_groups +
-                b / buckets_per_group;
+    size_t lg = ctx.scratch_lane() * num_groups + b / buckets_per_group;
     uint32_t& c = fill[lg];
     bufs[lg * cap + c] = rec;
     staged[lg * cap + c] = static_cast<uint32_t>(b);

@@ -36,6 +36,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/bucket_plan.h"
@@ -79,6 +80,15 @@ class context_binding {
       alloc_snap_ = ctx_->scratch.alloc_count();
       ctx_->timings = params.timings;
       ctx_->stats = params.stats;
+      // Bind the executing pool for the whole call (worker-partitioned
+      // scratch sizes itself from this) and snapshot the thread's fallback
+      // counter / job accounting so finalize() can attribute this call's
+      // share to its stats.
+      prev_pool_ = ctx_->pool;
+      ctx_->pool =
+          params.pool != nullptr ? params.pool : &worker_pool::resolve();
+      fallback_snap_ = tl_sequential_fallbacks;
+      acct_ = tl_job_acct;
     }
   }
 
@@ -87,6 +97,7 @@ class context_binding {
       ctx_->scratch.rewind(base_);
       ctx_->timings = nullptr;
       ctx_->stats = nullptr;
+      ctx_->pool = prev_pool_;
     }
     ctx_->depth--;
   }
@@ -104,16 +115,44 @@ class context_binding {
       stats->peak_scratch_bytes = ctx_->scratch.high_water_bytes();
       stats->arena_allocs = ctx_->scratch.alloc_count() - alloc_snap_;
       stats->scratch_capacity_bytes = ctx_->scratch.capacity_bytes();
+      stats->sequential_fallbacks = tl_sequential_fallbacks - fallback_snap_;
+      if (acct_ != nullptr) {
+        stats->job_steals = acct_->steals.load(std::memory_order_relaxed);
+        stats->job_queue_wait_ns = acct_->queue_wait_ns;
+      }
     }
   }
 
  private:
   std::optional<pipeline_context> local_;
   pipeline_context* ctx_ = nullptr;
+  worker_pool* prev_pool_ = nullptr;
+  job_accounting* acct_ = nullptr;
   arena::checkpoint base_;
   size_t alloc_snap_ = 0;
+  uint64_t fallback_snap_ = 0;
   bool owner_ = false;
 };
+
+// Ships a whole operator call onto `params.pool` when the calling thread
+// is foreign to that pool, so the pipeline runs with the pool's full
+// parallelism instead of the counted sequential fallback. Pool members —
+// and calls without an override — run inline.
+template <typename Fn>
+auto run_with_pool_override(const semisort_params& params, Fn&& fn) {
+  using R = std::invoke_result_t<Fn&>;
+  if (params.pool == nullptr || params.pool->contains_current_thread()) {
+    return fn();
+  }
+  if constexpr (std::is_void_v<R>) {
+    params.pool->run([&] { fn(); });
+    return;
+  } else {
+    std::optional<R> result;
+    params.pool->run([&] { result.emplace(fn()); });
+    return std::move(*result);
+  }
+}
 
 template <typename Record, typename GetKey>
 bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
@@ -251,22 +290,24 @@ void semisort_hashed(std::span<const Record> in, std::span<Record> out,
     });
     return;
   }
-  if (params.stats != nullptr) *params.stats = {};
-  internal::context_binding bind(params);
-  double alpha = params.alpha;
-  for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
-    if (params.timings != nullptr && attempt > 0) params.timings->clear();
-    if (internal::semisort_attempt(in, out, get_key, params, alpha,
-                                   static_cast<uint64_t>(attempt),
-                                   bind.ctx())) {
-      if (params.stats != nullptr) params.stats->restarts = attempt;
-      bind.finalize(params.stats);
-      return;
+  internal::run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
+    internal::context_binding bind(params);
+    double alpha = params.alpha;
+    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+      if (params.timings != nullptr && attempt > 0) params.timings->clear();
+      if (internal::semisort_attempt(in, out, get_key, params, alpha,
+                                     static_cast<uint64_t>(attempt),
+                                     bind.ctx())) {
+        if (params.stats != nullptr) params.stats->restarts = attempt;
+        bind.finalize(params.stats);
+        return;
+      }
+      alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
     }
-    alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
-  }
-  throw std::runtime_error(
-      "parsemi::semisort_hashed: bucket overflow persisted after retries");
+    throw std::runtime_error(
+        "parsemi::semisort_hashed: bucket overflow persisted after retries");
+  });
 }
 
 // In-place semisort: reorders `data` directly. Works because the
@@ -287,23 +328,26 @@ void semisort_hashed_inplace(std::span<Record> data, GetKey get_key = {},
               });
     return;
   }
-  if (params.stats != nullptr) *params.stats = {};
-  internal::context_binding bind(params);
-  double alpha = params.alpha;
-  for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
-    if (params.timings != nullptr && attempt > 0) params.timings->clear();
-    if (internal::semisort_attempt(std::span<const Record>(data), data,
-                                   get_key, params, alpha,
-                                   static_cast<uint64_t>(attempt),
-                                   bind.ctx())) {
-      if (params.stats != nullptr) params.stats->restarts = attempt;
-      bind.finalize(params.stats);
-      return;
+  internal::run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
+    internal::context_binding bind(params);
+    double alpha = params.alpha;
+    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+      if (params.timings != nullptr && attempt > 0) params.timings->clear();
+      if (internal::semisort_attempt(std::span<const Record>(data), data,
+                                     get_key, params, alpha,
+                                     static_cast<uint64_t>(attempt),
+                                     bind.ctx())) {
+        if (params.stats != nullptr) params.stats->restarts = attempt;
+        bind.finalize(params.stats);
+        return;
+      }
+      alpha *= 2.0;
     }
-    alpha *= 2.0;
-  }
-  throw std::runtime_error(
-      "parsemi::semisort_hashed_inplace: bucket overflow persisted after retries");
+    throw std::runtime_error(
+        "parsemi::semisort_hashed_inplace: bucket overflow persisted after "
+        "retries");
+  });
 }
 
 // Convenience: returns the semisorted copy. Copy-constructs the output

@@ -1,0 +1,131 @@
+#include "scheduler/job_gateway.h"
+
+#include <stdexcept>
+
+namespace parsemi {
+
+namespace internal {
+
+void gateway_slot::run() {
+  auto start = std::chrono::steady_clock::now();
+  uint64_t wait_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - submitted)
+          .count());
+  queue_wait_ns.store(wait_ns, std::memory_order_relaxed);
+  // job::execute installed `accounting` as this thread's tl_job_acct, so a
+  // pipeline_context running inside the closure can fold the queue wait
+  // into its semisort_stats.
+  accounting.queue_wait_ns = wait_ns;
+  void (*cleanup)(void*) = destroy;
+  destroy = nullptr;
+  auto record_exec = [&] {
+    auto end = std::chrono::steady_clock::now();
+    exec_ns.store(static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          end - start)
+                          .count()),
+                  std::memory_order_relaxed);
+  };
+  try {
+    invoke(closure);
+  } catch (...) {
+    cleanup(closure);
+    record_exec();
+    throw;  // job::execute captures this into `error`
+  }
+  cleanup(closure);
+  record_exec();
+}
+
+void gateway_slot::arm() {
+  done.store(false, std::memory_order_relaxed);
+  error = nullptr;
+  fuzz_path = 0;
+  acct = &accounting;
+  to_signal = &completion;
+  next_intake = nullptr;
+  accounting.steals.store(0, std::memory_order_relaxed);
+  accounting.queue_wait_ns = 0;
+  queue_wait_ns.store(0, std::memory_order_relaxed);
+  exec_ns.store(0, std::memory_order_relaxed);
+  completion.reset();
+}
+
+}  // namespace internal
+
+void job_handle::wait() {
+  if (slot_ == nullptr) {
+    throw std::logic_error(
+        "job_handle::wait: invalid handle (submission rejected, or handle "
+        "moved-from/released)");
+  }
+  slot_->completion.wait();
+  if (slot_->error) std::rethrow_exception(slot_->error);
+}
+
+job_stats job_handle::stats() const {
+  if (slot_ == nullptr) {
+    throw std::logic_error("job_handle::stats: invalid handle");
+  }
+  slot_->completion.wait();
+  return {slot_->queue_wait_ns.load(std::memory_order_relaxed),
+          slot_->exec_ns.load(std::memory_order_relaxed),
+          slot_->accounting.steals.load(std::memory_order_relaxed)};
+}
+
+void job_handle::release() {
+  if (slot_ == nullptr) return;
+  slot_->completion.wait();
+  gateway_->recycle(slot_);
+  gateway_ = nullptr;
+  slot_ = nullptr;
+}
+
+job_gateway::job_gateway(worker_pool& pool) : job_gateway(pool, config{}) {}
+
+job_gateway::job_gateway(worker_pool& pool, config cfg)
+    : pool_(pool), cfg_(cfg) {
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  slots_ = std::make_unique<internal::gateway_slot[]>(cfg_.queue_capacity);
+  for (size_t i = cfg_.queue_capacity; i-- > 0;) {
+    slots_[i].next_free = free_head_;
+    free_head_ = &slots_[i];
+  }
+}
+
+job_gateway::~job_gateway() {
+  // Handles recycle into this free list, so draining live_ to zero means
+  // every job has completed and no handle can touch a slot anymore.
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  slot_freed_.wait(lock, [this] { return live_ == 0; });
+}
+
+internal::gateway_slot* job_gateway::acquire_slot() {
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  if (free_head_ == nullptr && cfg_.on_full == overflow_policy::reject) {
+    return nullptr;
+  }
+  slot_freed_.wait(lock, [this] { return free_head_ != nullptr; });
+  internal::gateway_slot* slot = free_head_;
+  free_head_ = slot->next_free;
+  slot->next_free = nullptr;
+  ++live_;
+  return slot;
+}
+
+void job_gateway::recycle(internal::gateway_slot* slot) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    slot->next_free = free_head_;
+    free_head_ = slot;
+    --live_;
+  }
+  slot_freed_.notify_all();
+}
+
+size_t job_gateway::in_flight() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return live_;
+}
+
+}  // namespace parsemi

@@ -1,0 +1,212 @@
+// job_gateway — the concurrent submission front-end for a worker_pool.
+//
+// External threads (request handlers, test drivers, other pools' workers)
+// hand closures to a pool as first-class jobs:
+//
+//   worker_pool pool(8);
+//   job_gateway gateway(pool);
+//   job_handle h = gateway.submit([&] { semisort_hashed(...); });
+//   h.wait();                       // rethrows the job's exception, if any
+//   job_stats s = h.stats();        // queue wait, span, steal count
+//
+// Semantics:
+//   * FIFO admission. Jobs enter the pool's external intake queue in
+//     submission order; idle workers dequeue them between steals. Once a
+//     job starts, its internal fork-join subtasks run under ordinary
+//     randomized work stealing, so each admitted job keeps the W/P + O(D)
+//     bound on the shared pool.
+//   * Bounded queue + backpressure. The gateway owns a fixed ring of
+//     submission slots (`config::queue_capacity`). When all slots are in
+//     use, `submit` either blocks until one frees (`overflow_policy::
+//     block`, the default) or returns an invalid handle immediately
+//     (`overflow_policy::reject`).
+//   * Per-job join handles. `job_handle::wait()` blocks until the job
+//     completes and rethrows any exception it raised (repeatably); the
+//     handle's destructor waits too, so a slot is never recycled while its
+//     job can still touch it.
+//   * Per-job stats. Queue wait (submit → start), execution span, and the
+//     number of times the job's subtasks were stolen. The same accounting
+//     is visible to the pipeline: a semisort running inside a gateway job
+//     folds them into its `semisort_stats` (job_steals/job_queue_wait_ns).
+//   * Zero steady-state heap allocations. Slots and their closure storage
+//     are preallocated in the constructor; `submit` placement-news the
+//     closure into the slot (captures must fit kClosureBytes — capture
+//     pointers, not containers).
+//
+// Lifetime: the pool must outlive the gateway; the gateway destructor
+// blocks until every submitted job has completed and every handle has been
+// released. Do not submit-and-wait from a worker of the same pool — a
+// blocked worker is one the queued job may be waiting for.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+
+class job_gateway;
+
+// What one submitted job cost, readable once it has completed.
+struct job_stats {
+  uint64_t queue_wait_ns = 0;  // submit() → first instruction of the closure
+  uint64_t exec_ns = 0;        // closure span on the executing worker
+  uint64_t steals = 0;         // steals of this job's fork-join subtasks
+};
+
+namespace internal {
+
+// One preallocated submission slot: the job object, inline closure
+// storage, the completion signal the submitter blocks on, and the timing /
+// steal accounting. Slots cycle through: free list → armed+queued →
+// running → completed (handle readable) → recycled by job_handle release.
+struct gateway_slot final : job {
+  static constexpr size_t kClosureBytes = 256;
+
+  void run() override;
+
+  // Resets the job/completion state for reuse. Called by submit() after
+  // the closure is in place, before the slot is queued.
+  void arm();
+
+  alignas(std::max_align_t) unsigned char closure[kClosureBytes];
+  void (*invoke)(void*) = nullptr;
+  void (*destroy)(void*) = nullptr;
+  gateway_slot* next_free = nullptr;
+  job_completion completion;
+  job_accounting accounting;
+  std::chrono::steady_clock::time_point submitted{};
+  // Written by the executing worker, read by the submitter after
+  // completion.wait() — the completion signal orders them, relaxed access
+  // on each side suffices.
+  std::atomic<uint64_t> queue_wait_ns{0};
+  std::atomic<uint64_t> exec_ns{0};
+};
+
+}  // namespace internal
+
+// Move-only join handle for one submitted job. A default-constructed (or
+// moved-from) handle is invalid — that is also what a rejected submission
+// returns. The destructor waits for the job and recycles its slot.
+class job_handle {
+ public:
+  job_handle() = default;
+  job_handle(job_handle&& other) noexcept
+      : gateway_(other.gateway_), slot_(other.slot_) {
+    other.gateway_ = nullptr;
+    other.slot_ = nullptr;
+  }
+  job_handle& operator=(job_handle&& other) noexcept {
+    if (this != &other) {
+      release();
+      gateway_ = other.gateway_;
+      slot_ = other.slot_;
+      other.gateway_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ~job_handle() { release(); }
+  job_handle(const job_handle&) = delete;
+  job_handle& operator=(const job_handle&) = delete;
+
+  bool valid() const { return slot_ != nullptr; }
+
+  // Blocks until the job completes; rethrows its exception (every call).
+  // Throws std::logic_error on an invalid (rejected/moved-from) handle.
+  void wait();
+
+  // Blocks until the job completes, then reports what it cost. Does not
+  // rethrow — stats are valid for failed jobs too.
+  job_stats stats() const;
+
+  // Waits for the job and returns the slot to the gateway; the handle
+  // becomes invalid. Idempotent; the destructor calls it.
+  void release();
+
+ private:
+  friend class job_gateway;
+  job_handle(job_gateway* gateway, internal::gateway_slot* slot)
+      : gateway_(gateway), slot_(slot) {}
+
+  job_gateway* gateway_ = nullptr;
+  internal::gateway_slot* slot_ = nullptr;
+};
+
+class job_gateway {
+ public:
+  enum class overflow_policy {
+    block,   // submit() waits for a slot
+    reject,  // submit() returns an invalid handle
+  };
+  struct config {
+    size_t queue_capacity = 64;  // max jobs admitted-but-not-released
+    overflow_policy on_full = overflow_policy::block;
+  };
+
+  explicit job_gateway(worker_pool& pool);  // default config
+  job_gateway(worker_pool& pool, config cfg);
+
+  // Blocks until every admitted job has completed and every handle has
+  // been released.
+  ~job_gateway();
+  job_gateway(const job_gateway&) = delete;
+  job_gateway& operator=(const job_gateway&) = delete;
+
+  // Submits `fn` as one job. The decayed closure is stored inline in the
+  // slot — it must fit kClosureBytes (capture pointers/references, not
+  // containers) — and runs exactly once on a pool worker. Returns an
+  // invalid handle iff the queue is full under overflow_policy::reject.
+  template <typename F>
+  job_handle submit(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>,
+                  "job_gateway::submit needs a nullary callable");
+    static_assert(sizeof(Fn) <= internal::gateway_slot::kClosureBytes,
+                  "closure too large for a gateway slot — capture pointers, "
+                  "not containers");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closures are not supported");
+    internal::gateway_slot* slot = acquire_slot();
+    if (slot == nullptr) return {};
+    // Placement new into the slot's preallocated storage is not a
+    // replaceable allocation, so warm submissions never touch the heap.
+    ::new (static_cast<void*>(slot->closure)) Fn(std::forward<F>(fn));
+    slot->invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+    slot->destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    slot->arm();
+    slot->submitted = std::chrono::steady_clock::now();
+    pool_.submit_external(slot);
+    return job_handle(this, slot);
+  }
+
+  worker_pool& pool() const { return pool_; }
+
+  // Jobs admitted and not yet released (queued, running, or completed with
+  // a live handle).
+  size_t in_flight() const;
+
+ private:
+  friend class job_handle;
+
+  internal::gateway_slot* acquire_slot();
+  void recycle(internal::gateway_slot* slot);
+
+  worker_pool& pool_;
+  config cfg_;
+  std::unique_ptr<internal::gateway_slot[]> slots_;
+  mutable std::mutex admission_mutex_;
+  std::condition_variable slot_freed_;
+  internal::gateway_slot* free_head_ = nullptr;
+  size_t live_ = 0;
+};
+
+}  // namespace parsemi

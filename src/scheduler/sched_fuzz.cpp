@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "scheduler/scheduler.h"
 #include "util/env.h"
@@ -46,7 +47,14 @@ void maybe_churn_workers(int max_workers) {
   detail::g_digest.fetch_xor(splitmix64(key ^ detail::kChurnSalt),
                              std::memory_order_relaxed);
   detail::g_count.fetch_add(1, std::memory_order_relaxed);
-  set_num_workers(target);
+  // The digest fold above happens unconditionally, so replay invariance
+  // holds even when the pool refuses the resize (jobs in flight, or the
+  // caller turned out to be inside a region after all) — churn is
+  // best-effort by contract.
+  try {
+    set_num_workers(target);
+  } catch (const std::logic_error&) {
+  }
 }
 
 }  // namespace parsemi::sched_fuzz

@@ -16,6 +16,8 @@
 #include "core/group_by.h"
 #include "core/pipeline_context.h"
 #include "core/semisort.h"
+#include "scheduler/job_gateway.h"
+#include "scheduler/scheduler.h"
 #include "test_helpers.h"
 #include "util/timer.h"
 #include "workloads/distributions.h"
@@ -198,6 +200,39 @@ TEST(AllocRegression, DerivedOperatorAllocatesOnlyItsResults) {
   // order + group_start (and nothing proportional to the pipeline): a
   // handful of allocations, not hundreds.
   EXPECT_LE(delta, 8u) << delta << " heap allocations for one group_by_index";
+}
+
+TEST(AllocRegression, WarmGatewayResubmissionMakesZeroHeapAllocations) {
+  // The gateway's admission path is slot recycling over a preallocated
+  // table and the closure is placement-new'd into the slot, so once the
+  // pool, the gateway, and the pipeline_context are warm, a full
+  // submit → execute → wait → release round trip allocates nothing.
+  size_t n = 100000;
+  auto in = generate_records(n, {distribution_kind::exponential, 1000}, 11);
+  std::vector<record> out(n);
+
+  worker_pool pool(4);
+  job_gateway gateway(pool);
+  pipeline_context ctx;
+  semisort_params params;
+  params.context = &ctx;
+
+  auto round_trip = [&] {
+    job_handle h = gateway.submit([pin = &in, pout = &out, pparams = &params] {
+      semisort_hashed(std::span<const record>(*pin), std::span<record>(*pout),
+                      record_key{}, *pparams);
+    });
+    h.wait();
+    h.release();
+  };
+  for (int round = 0; round < 3; ++round) round_trip();  // warm everything
+
+  size_t before = heap_allocs();
+  for (int round = 0; round < 3; ++round) round_trip();
+  size_t leaked = heap_allocs() - before;
+  EXPECT_EQ(leaked, 0u)
+      << leaked << " heap allocations on warm gateway submissions";
+  EXPECT_TRUE(testing::valid_semisort(out, in));
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Stress for the concurrent job gateway: many foreign submitter threads
+// hammer ONE small shared pool through bounded gateways, under perturbed
+// schedules, mixing whole-pipeline jobs with params.pool overrides. An
+// admission race, a lost wakeup, a cross-job accounting leak, or a stale
+// slot shows up here as a wrong result, a hang (ctest timeout), or a data
+// race in the tsan × stress CI lane.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/collect_reduce.h"
+#include "core/group_by.h"
+#include "core/pipeline_context.h"
+#include "core/semisort.h"
+#include "hashing/hash64.h"
+#include "proptest.h"
+#include "scheduler/job_gateway.h"
+#include "scheduler/sched_fuzz.h"
+#include "scheduler/scheduler.h"
+#include "test_helpers.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+// One deliberately small pool shared by every trial: contention for three
+// workers across up to six submitters is the interesting regime (the
+// default pool would also be adopted by the gtest main thread — a
+// standalone pool keeps every submitter foreign).
+worker_pool& shared_pool() {
+  static worker_pool pool(3);
+  return pool;
+}
+
+struct gw_config {
+  size_t n = 1000;
+  uint64_t distinct = 100;
+  int submitters = 2;
+  size_t queue_capacity = 8;
+  uint64_t fuzz_seed = 0;  // 0 = schedule untouched
+  uint64_t data_seed = 1;
+};
+
+gw_config generate(rng& r) {
+  gw_config c;
+  c.n = proptest::log_uniform_u64(r, 64, 40000);
+  c.distinct = proptest::log_uniform_u64(r, 1, c.n);
+  c.submitters = static_cast<int>(proptest::pick(r, {2, 3, 4, 6}));
+  c.queue_capacity = proptest::pick<size_t>(r, {2, 4, 8});
+  c.fuzz_seed = proptest::chance(r, 0.4) ? r.next() | 1 : 0;
+  c.data_seed = r.next();
+  return c;
+}
+
+std::string describe(const gw_config& c) {
+  std::ostringstream os;
+  os << "n=" << c.n << " distinct=" << c.distinct << " submitters="
+     << c.submitters << " cap=" << c.queue_capacity << " fuzz="
+     << c.fuzz_seed << " data=" << c.data_seed;
+  return os.str();
+}
+
+std::vector<gw_config> shrink(const gw_config& c) {
+  std::vector<gw_config> out;
+  for (uint64_t n : proptest::shrink_toward(c.n, 64)) {
+    gw_config d = c;
+    d.n = n;
+    d.distinct = std::min<uint64_t>(d.distinct, n);
+    out.push_back(d);
+  }
+  if (c.submitters > 2) {
+    gw_config d = c;
+    d.submitters = 2;
+    out.push_back(d);
+  }
+  if (c.fuzz_seed != 0) {
+    gw_config d = c;
+    d.fuzz_seed = 0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+// What one submitter thread does: run one of three workloads against the
+// shared pool and verify its own result. Returns "" on success. Submitter
+// index picks the workload, so every trial with ≥3 submitters exercises
+// all of them concurrently on the same pool.
+std::string run_submitter(const gw_config& c, int s, job_gateway& gateway) {
+  std::vector<record> rows(c.n);
+  rng r(splitmix64(c.data_seed + static_cast<uint64_t>(s) * 1000003));
+  for (size_t i = 0; i < c.n; ++i)
+    rows[i] = {hash64(r.next_below(c.distinct)), r.next_below(1000)};
+  auto counts = testing::key_counts(std::span<const record>(rows),
+                                    record_key{});
+
+  switch (s % 3) {
+    case 0: {  // whole semisort pipeline as one gateway job
+      std::vector<record> out(c.n);
+      pipeline_context ctx;
+      semisort_stats stats;
+      job_handle handle = gateway.submit([&rows, &out, &ctx, &stats] {
+        semisort_params params;
+        params.context = &ctx;
+        params.stats = &stats;
+        semisort_hashed(std::span<const record>(rows),
+                        std::span<record>(out), record_key{}, params);
+      });
+      if (!handle.valid()) return "blocking gateway rejected a submission";
+      handle.wait();
+      if (!testing::valid_semisort(out, rows)) return "semisort job wrong";
+      if (stats.sequential_fallbacks != 0) return "job fell back sequential";
+      return "";
+    }
+    case 1: {  // derived operator as a gateway job
+      std::vector<uint64_t> keys(c.n);
+      for (size_t i = 0; i < c.n; ++i) keys[i] = rows[i].key;
+      std::vector<std::pair<uint64_t, size_t>> got;
+      pipeline_context ctx;
+      job_handle handle = gateway.submit([&keys, &got, &ctx] {
+        semisort_params params;
+        params.context = &ctx;
+        got = count_by_key(std::span<const uint64_t>(keys),
+                           [](uint64_t k) { return k; }, std::equal_to<>{},
+                           params);
+      });
+      if (!handle.valid()) return "blocking gateway rejected a submission";
+      handle.wait();
+      if (got.size() != counts.size()) return "wrong distinct-key count";
+      for (const auto& [k, cnt] : got) {
+        auto it = counts.find(k);
+        if (it == counts.end() || it->second != cnt) return "wrong count";
+      }
+      return "";
+    }
+    default: {  // params.pool override straight from the foreign thread
+      semisort_stats stats;
+      semisort_params params;
+      params.stats = &stats;
+      params.pool = &gateway.pool();
+      auto g = group_by_hashed(std::span<const record>(rows), record_key{},
+                               params);
+      if (g.records.size() != rows.size()) return "group_by lost rows";
+      if (g.num_groups() != counts.size()) return "wrong group count";
+      for (size_t grp = 0; grp < g.num_groups(); ++grp) {
+        auto span = g.group(grp);
+        for (const record& rec : span)
+          if (rec.key != span.front().key) return "mixed keys in a group";
+        if (counts[span.front().key] != span.size())
+          return "group size mismatch";
+      }
+      if (stats.sequential_fallbacks != 0) return "override fell back";
+      return "";
+    }
+  }
+}
+
+std::optional<std::string> property(const gw_config& c) {
+  sched_fuzz::scoped_enable fuzz(c.fuzz_seed);
+  job_gateway::config cfg;
+  cfg.queue_capacity = c.queue_capacity;
+  cfg.on_full = job_gateway::overflow_policy::block;
+  job_gateway gateway(shared_pool(), cfg);
+
+  std::vector<std::string> errors(static_cast<size_t>(c.submitters));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(c.submitters));
+  for (int s = 0; s < c.submitters; ++s) {
+    std::string* slot = &errors[static_cast<size_t>(s)];
+    threads.emplace_back([&c, s, &gateway, slot] {
+      *slot = run_submitter(c, s, gateway);
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (gateway.in_flight() != 0) return "jobs leaked past their handles";
+
+  for (int s = 0; s < c.submitters; ++s) {
+    if (!errors[static_cast<size_t>(s)].empty()) {
+      std::ostringstream os;
+      os << "submitter " << s << ": " << errors[static_cast<size_t>(s)];
+      return os.str();
+    }
+  }
+  if (shared_pool().sequential_fallbacks() != 0)
+    return "shared pool counted a sequential fallback";
+  return std::nullopt;
+}
+
+TEST(GatewayStress, ConcurrentSubmittersOnOneSharedPool) {
+  proptest::options opt;
+  opt.trials = 20;
+  opt.seed = 0x6A7E3A7E55ULL;
+  proptest::check<gw_config>(generate, property, shrink, describe, opt);
+}
+
+}  // namespace
+}  // namespace parsemi

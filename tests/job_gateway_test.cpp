@@ -1,0 +1,389 @@
+// The concurrent job gateway and the instantiable-pool execution model:
+// external threads submit whole pipelines as first-class jobs, each running
+// with real pool parallelism (non-zero steals, zero sequential fallbacks),
+// with FIFO admission, bounded-queue backpressure, per-job join handles that
+// propagate exceptions, and per-job stats folded into semisort_stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/collect_reduce.h"
+#include "core/pipeline_context.h"
+#include "core/semisort.h"
+#include "scheduler/job_gateway.h"
+#include "scheduler/scheduler.h"
+#include "test_helpers.h"
+#include "workloads/distributions.h"
+
+namespace parsemi {
+namespace {
+
+// The acceptance scenario for the whole refactor: four external submitter
+// threads share ONE pool through one gateway, each semisorting its own data
+// concurrently. Every job must come back correct, with its subtasks stolen
+// across the pool's workers (real parallelism, not the old sequential
+// fallback) and zero fallbacks counted anywhere.
+TEST(JobGateway, FourConcurrentSubmittersShareOnePool) {
+  worker_pool pool(8);
+  job_gateway gateway(pool);
+  constexpr int kSubmitters = 4;
+  constexpr size_t kN = 200000;
+
+  struct submitter_state {
+    std::vector<record> in;
+    std::vector<record> out;
+    pipeline_context ctx;
+    semisort_stats stats;
+    job_stats per_job;
+    bool handle_valid = false;
+  };
+  std::vector<submitter_state> states(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    states[s].in = generate_records(kN, {distribution_kind::exponential, 2000},
+                                    100 + static_cast<uint64_t>(s));
+    states[s].out.resize(kN);
+  }
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitter_state* state = &states[s];
+    submitters.emplace_back([&gateway, state] {
+      job_handle handle = gateway.submit([state] {
+        semisort_params params;
+        params.context = &state->ctx;
+        params.stats = &state->stats;
+        semisort_hashed(std::span<const record>(state->in),
+                        std::span<record>(state->out), record_key{}, params);
+      });
+      state->handle_valid = handle.valid();
+      if (!state->handle_valid) return;
+      handle.wait();
+      state->per_job = handle.stats();
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (int s = 0; s < kSubmitters; ++s) {
+    ASSERT_TRUE(states[s].handle_valid) << "submitter " << s;
+    EXPECT_TRUE(testing::valid_semisort(states[s].out, states[s].in))
+        << "submitter " << s;
+    // The external job ran with real parallelism: its fork tree was stolen
+    // across the pool, and no fork_join degenerated to the sequential path.
+    EXPECT_EQ(states[s].stats.sequential_fallbacks, 0u) << "submitter " << s;
+    EXPECT_GT(states[s].per_job.steals, 0u) << "submitter " << s;
+    EXPECT_GT(states[s].stats.job_steals, 0u) << "submitter " << s;
+    // Handle stats are read after the job completed, pipeline stats at
+    // finalize — the handle can only have seen more steals since.
+    EXPECT_GE(states[s].per_job.steals, states[s].stats.job_steals)
+        << "submitter " << s;
+    EXPECT_EQ(states[s].per_job.queue_wait_ns,
+              states[s].stats.job_queue_wait_ns)
+        << "submitter " << s;
+  }
+  EXPECT_EQ(pool.sequential_fallbacks(), 0u);
+  EXPECT_GT(pool.total_steals(), 0u);
+  EXPECT_EQ(gateway.in_flight(), 0u);
+  EXPECT_EQ(pool.external_queue_depth(), 0u);
+}
+
+// The retired silent fallback: a thread foreign to every pool calling the
+// pipeline directly still computes the right answer, but sequentially — and
+// that is now counted and surfaced instead of vanishing.
+TEST(JobGateway, ForeignDirectCallCountsSequentialFallbacks) {
+  if (worker_pool::default_pool().num_workers() < 2) {
+    GTEST_SKIP() << "single-worker default pool never falls back";
+  }
+  constexpr size_t kN = 20000;
+  auto in = generate_records(kN, {distribution_kind::uniform, 500}, 7);
+  std::vector<record> out(kN);
+  semisort_stats stats;
+  std::thread foreign([&in, &out, &stats] {
+    pipeline_context ctx;
+    semisort_params params;
+    params.context = &ctx;
+    params.stats = &stats;
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+  });
+  foreign.join();
+  EXPECT_TRUE(testing::valid_semisort(out, in));
+  EXPECT_GT(stats.sequential_fallbacks, 0u);
+}
+
+// semisort_params::pool routes the whole pipeline onto the named pool even
+// when the calling thread is foreign to it — the positive counterpart of
+// the fallback test above.
+TEST(JobGateway, ParamsPoolRoutesPipelineOntoNamedPool) {
+  worker_pool pool(4);
+  constexpr size_t kN = 100000;
+  auto in = generate_records(kN, {distribution_kind::exponential, 1000}, 13);
+  std::vector<record> out(kN);
+  pipeline_context ctx;
+  semisort_stats stats;
+  semisort_params params;
+  params.context = &ctx;
+  params.stats = &stats;
+  params.pool = &pool;
+  semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                  record_key{}, params);
+  EXPECT_TRUE(testing::valid_semisort(out, in));
+  EXPECT_EQ(stats.sequential_fallbacks, 0u);
+  EXPECT_EQ(pool.sequential_fallbacks(), 0u);
+}
+
+// Derived operators inherit the execution model: a foreign thread naming a
+// pool (or going through the gateway) gets parallel derived ops too.
+TEST(JobGateway, DerivedOperatorRunsThroughGatewayAndPoolOverride) {
+  worker_pool pool(4);
+  job_gateway gateway(pool);
+  constexpr size_t kN = 60000;
+  auto rows = generate_records(kN, {distribution_kind::zipfian, 700}, 21);
+  std::vector<uint64_t> keys(kN);
+  for (size_t i = 0; i < kN; ++i) keys[i] = rows[i].key;
+  auto expect = testing::key_counts(std::span<const record>(rows),
+                                    record_key{});
+
+  // Via the gateway.
+  std::vector<std::pair<uint64_t, size_t>> via_gateway;
+  pipeline_context ctx;
+  semisort_stats stats;
+  job_handle handle =
+      gateway.submit([&keys, &via_gateway, &ctx, &stats] {
+        semisort_params params;
+        params.context = &ctx;
+        params.stats = &stats;
+        via_gateway = count_by_key(std::span<const uint64_t>(keys),
+                                   [](uint64_t k) { return k; },
+                                   std::equal_to<>{}, params);
+      });
+  handle.wait();
+  EXPECT_EQ(stats.sequential_fallbacks, 0u);
+  ASSERT_EQ(via_gateway.size(), expect.size());
+  for (const auto& [k, cnt] : via_gateway) {
+    auto it = expect.find(k);
+    ASSERT_NE(it, expect.end());
+    EXPECT_EQ(it->second, cnt);
+  }
+
+  // Via params.pool from this (foreign) thread.
+  semisort_stats stats2;
+  semisort_params params2;
+  params2.stats = &stats2;
+  params2.pool = &pool;
+  auto via_override = count_by_key(std::span<const uint64_t>(keys),
+                                   [](uint64_t k) { return k; },
+                                   std::equal_to<>{}, params2);
+  EXPECT_EQ(stats2.sequential_fallbacks, 0u);
+  EXPECT_EQ(via_override.size(), expect.size());
+}
+
+// Exceptions thrown inside a submitted job surface at the handle — every
+// wait rethrows (repeatably), and the job's stats stay readable.
+TEST(JobGateway, ExceptionPropagatesThroughHandleRepeatably) {
+  worker_pool pool(2);
+  job_gateway gateway(pool);
+  job_handle handle =
+      gateway.submit([] { throw std::runtime_error("boom"); });
+  ASSERT_TRUE(handle.valid());
+  EXPECT_THROW(handle.wait(), std::runtime_error);
+  EXPECT_THROW(handle.wait(), std::runtime_error);
+  job_stats js = handle.stats();  // stats survive a failed job
+  EXPECT_EQ(js.steals, 0u);
+}
+
+// reject backpressure: when every slot is held by a live job, submit
+// returns an invalid handle instead of blocking; slots freed by release
+// make the next submission succeed.
+TEST(JobGateway, RejectPolicyBoundsAdmission) {
+  worker_pool pool(2);
+  job_gateway::config cfg;
+  cfg.queue_capacity = 2;
+  cfg.on_full = job_gateway::overflow_policy::reject;
+  job_gateway gateway(pool, cfg);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool go = false;
+  auto blocker = [&m, &cv, &go] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&go] { return go; });
+  };
+  job_handle h1 = gateway.submit(blocker);
+  job_handle h2 = gateway.submit(blocker);
+  ASSERT_TRUE(h1.valid());
+  ASSERT_TRUE(h2.valid());
+  EXPECT_EQ(gateway.in_flight(), 2u);
+
+  job_handle h3 = gateway.submit([] {});
+  EXPECT_FALSE(h3.valid());
+  EXPECT_THROW(h3.wait(), std::logic_error);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    go = true;
+  }
+  cv.notify_all();
+  h1.wait();
+  h2.wait();
+  h1.release();
+  h2.release();
+  EXPECT_EQ(gateway.in_flight(), 0u);
+
+  job_handle h4 = gateway.submit([] {});
+  ASSERT_TRUE(h4.valid());
+  h4.wait();
+}
+
+// block backpressure: a full gateway makes submit wait for a slot instead
+// of failing, and the submission goes through once a handle is released.
+TEST(JobGateway, BlockPolicyWaitsForFreedSlot) {
+  worker_pool pool(2);
+  job_gateway::config cfg;
+  cfg.queue_capacity = 1;
+  cfg.on_full = job_gateway::overflow_policy::block;
+  job_gateway gateway(pool, cfg);
+
+  job_handle h1 = gateway.submit([] {});
+  ASSERT_TRUE(h1.valid());
+  h1.wait();  // job done, but the slot is still held by the handle
+
+  std::thread releaser([h = std::move(h1)]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    h.release();
+  });
+  job_handle h2 = gateway.submit([] {});  // blocks until the release above
+  releaser.join();
+  ASSERT_TRUE(h2.valid());
+  h2.wait();
+}
+
+// Resizing a pool is rejected while externally submitted jobs are queued:
+// the resize would tear down the deques the queued work needs.
+TEST(JobGateway, SetNumWorkersRejectedWhileJobsInFlight) {
+  worker_pool pool(2);
+  job_gateway gateway(pool);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool go = false;
+  auto blocker = [&m, &cv, &go] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&go] { return go; });
+  };
+  // Two blockers occupy both workers; the third job must sit in the intake
+  // queue (and even if the blockers have not been picked up yet, they are
+  // queued themselves) — either way the resize must refuse.
+  job_handle h1 = gateway.submit(blocker);
+  job_handle h2 = gateway.submit(blocker);
+  job_handle h3 = gateway.submit([] {});
+  EXPECT_THROW(pool.set_num_workers(4), std::logic_error);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    go = true;
+  }
+  cv.notify_all();
+  h1.wait();
+  h2.wait();
+  h3.wait();
+
+  // Quiescent again: resizing works at top level.
+  pool.set_num_workers(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  pool.set_num_workers(2);
+  EXPECT_EQ(pool.num_workers(), 2);
+}
+
+// Resizing from inside an externally submitted job is rejected — the job
+// IS the parallel region the resize would destroy.
+TEST(JobGateway, SetNumWorkersRejectedInsideSubmittedJob) {
+  worker_pool pool(2);
+  job_gateway gateway(pool);
+  std::atomic<bool> threw{false};
+  job_handle handle = gateway.submit([&pool, &threw] {
+    try {
+      pool.set_num_workers(3);
+    } catch (const std::logic_error&) {
+      threw.store(true, std::memory_order_release);
+    }
+  });
+  handle.wait();
+  EXPECT_TRUE(threw.load(std::memory_order_acquire));
+  EXPECT_EQ(pool.num_workers(), 2);
+}
+
+// ... and from inside any parallel region on the default pool.
+TEST(JobGateway, SetNumWorkersRejectedInsideParallelRegion) {
+  if (num_workers() < 2) {
+    GTEST_SKIP() << "a single-worker pool may run the loop without forking";
+  }
+  std::atomic<uint64_t> caught{0};
+  parallel_for(0, 10000, [&caught](size_t i) {
+    if (i == 5000) {
+      try {
+        set_num_workers(num_workers());
+      } catch (const std::logic_error&) {
+        caught.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(caught.load(std::memory_order_relaxed), 1u);
+}
+
+// Handle lifecycle: default-constructed and moved-from handles are invalid
+// (wait throws), release is idempotent, stats require a completed job.
+TEST(JobGateway, HandleLifecycle) {
+  worker_pool pool(2);
+  job_gateway gateway(pool);
+
+  job_handle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.wait(), std::logic_error);
+  EXPECT_THROW((void)empty.stats(), std::logic_error);
+
+  job_handle h = gateway.submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); });
+  ASSERT_TRUE(h.valid());
+  h.wait();
+  job_stats js = h.stats();
+  EXPECT_GT(js.exec_ns, 0u);
+
+  job_handle moved = std::move(h);
+  EXPECT_FALSE(h.valid());
+  ASSERT_TRUE(moved.valid());
+  moved.release();
+  EXPECT_FALSE(moved.valid());
+  moved.release();  // idempotent
+  EXPECT_EQ(gateway.in_flight(), 0u);
+}
+
+// The singleton shim: worker_pool::get(), the `scheduler` alias, and the
+// free functions all keep resolving to the default pool.
+TEST(JobGateway, DefaultPoolShimStaysCompatible) {
+  // parsemi-check: allow(no-global-scheduler) -- this IS the shim's test
+  worker_pool& via_get = worker_pool::get();
+  EXPECT_EQ(&via_get, &worker_pool::default_pool());
+  // parsemi-check: allow(no-global-scheduler) -- pre-pool spelling, ditto
+  scheduler& via_alias = scheduler::get();
+  EXPECT_EQ(&via_alias, &via_get);
+  EXPECT_EQ(num_workers(), via_get.num_workers());
+  // A standalone pool is a different domain with its own worker count.
+  worker_pool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  EXPECT_FALSE(pool.contains_current_thread());
+  EXPECT_EQ(pool.external_queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace parsemi

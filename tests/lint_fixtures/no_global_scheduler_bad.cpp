@@ -1,0 +1,25 @@
+// Fixture: direct calls to the deprecated singleton shim outside
+// src/scheduler/ — both the pre-pool spelling and the pool-class form,
+// plus a qualified one. Three findings.
+namespace parsemi {
+class worker_pool {
+ public:
+  static worker_pool& get();
+  int num_workers() const;
+};
+using scheduler = worker_pool;
+}  // namespace parsemi
+
+int workers_via_alias() {
+  using namespace parsemi;
+  return scheduler::get().num_workers();  // finding: pre-pool spelling
+}
+
+int workers_via_pool_class() {
+  return parsemi::worker_pool::get().num_workers();  // finding: shim call
+}
+
+parsemi::worker_pool* stash_the_singleton() {
+  parsemi::scheduler* s = &parsemi::scheduler::get();  // finding: hard-wired
+  return s;
+}

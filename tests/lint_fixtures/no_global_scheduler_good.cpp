@@ -1,0 +1,42 @@
+// Fixture: the sanctioned pool-routing idioms — take a worker_pool& as a
+// parameter, call default_pool() explicitly, route through params.pool, and
+// a waived shim call (compat-test style). Zero hard findings.
+namespace parsemi {
+class worker_pool {
+ public:
+  static worker_pool& get();
+  int num_workers() const;
+  template <class F>
+  void run(F&& f);
+};
+worker_pool& default_pool();
+struct semisort_params {
+  worker_pool* pool = nullptr;
+};
+}  // namespace parsemi
+
+int workers_of(parsemi::worker_pool& pool) {  // pool passed in: routable
+  return pool.num_workers();
+}
+
+int workers_of_default() {
+  return parsemi::default_pool().num_workers();  // explicit, not the shim
+}
+
+void route_via_params(parsemi::worker_pool& pool) {
+  parsemi::semisort_params params;
+  params.pool = &pool;  // pipeline routing, no global named
+}
+
+// `get` on something that is not the scheduler singleton is fine.
+struct registry {
+  static registry& get();
+  int value = 0;
+};
+int other_get() { return registry::get().value; }
+
+int waived_compat_check() {
+  using namespace parsemi;
+  // parsemi-check: allow(no-global-scheduler) -- shim compat test needs it
+  return worker_pool::get().num_workers();
+}

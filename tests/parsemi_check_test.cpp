@@ -112,6 +112,32 @@ TEST(ParallelCapture, PartitionedAtomicAndBodyLocalIdiomsAreClean) {
   EXPECT_EQ(waived, 1);  // out[i] is partitioned; ++calls is the waived one
 }
 
+TEST(NoGlobalScheduler, ShimCallsOutsideSchedulerDirAreFlagged) {
+  analysis a = analyze_source(fixture("no_global_scheduler_bad.cpp"),
+                              "no_global_scheduler_bad.cpp");
+  // scheduler::get(), worker_pool::get(), and the namespace-qualified form.
+  EXPECT_EQ(hard_count(a, rule::no_global_scheduler), 3);
+}
+
+TEST(NoGlobalScheduler, RoutedIdiomsAndWaivedShimCallAreClean) {
+  analysis a = analyze_source(fixture("no_global_scheduler_good.cpp"),
+                              "no_global_scheduler_good.cpp");
+  EXPECT_EQ(hard_total(a), 0);
+  // The compat-test shim call is waived, not silently ignored.
+  int waived = 0;
+  for (const finding& f : a.findings)
+    if (f.waived && f.r == rule::no_global_scheduler) ++waived;
+  EXPECT_EQ(waived, 1);
+}
+
+TEST(NoGlobalScheduler, SchedulerSourcesAreExempt) {
+  // The same violating text under the scheduler's own path is clean: the
+  // shim's definition (and its internal uses) live there by design.
+  std::string text = fixture("no_global_scheduler_bad.cpp");
+  analysis a = analyze_source(text, "src/scheduler/scheduler.h");
+  EXPECT_EQ(hard_count(a, rule::no_global_scheduler), 0);
+}
+
 TEST(Waivers, MissingReasonAndUnknownRuleAreFindings) {
   analysis a =
       analyze_source(fixture("waiver_bad.cpp"), "waiver_bad.cpp");
@@ -196,6 +222,7 @@ TEST(SeededViolations, AnalyzerExitsNonZeroOnEachBadFixture) {
       {"atomics_order_bad.cpp", rule::atomics_order},
       {"arena_lifetime_bad.cpp", rule::arena_lifetime},
       {"parallel_capture_bad.cpp", rule::parallel_capture},
+      {"no_global_scheduler_bad.cpp", rule::no_global_scheduler},
   };
   for (const auto& c : cases) {
     analysis a = analyze_source(fixture(c.file), c.file);

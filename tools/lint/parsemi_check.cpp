@@ -682,6 +682,33 @@ void check_parallel_captures(file_ctx& fc) {
   }
 }
 
+// ---- rule: no-global-scheduler -------------------------------------------
+//
+// `scheduler::get()` / `worker_pool::get()` is the compatibility shim for
+// the pre-pool singleton spelling. Code outside src/scheduler/ that calls
+// it hard-wires the process-wide default pool, which defeats pool routing
+// (params.pool, job_gateway) and reintroduces the global the refactor
+// removed — take a `worker_pool&` or call `default_pool()` instead. The
+// scheduler's own sources (and the shim's definition) are exempt.
+void check_global_scheduler(file_ctx& fc) {
+  if (fc.path.find("src/scheduler/") != std::string::npos) return;
+  const auto& toks = fc.lx->tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i]) ||
+        (toks[i].text != "scheduler" && toks[i].text != "worker_pool")) {
+      continue;
+    }
+    if (!is(toks[i + 1], "::") || !is(toks[i + 2], "get") ||
+        !is(toks[i + 3], "(")) {
+      continue;
+    }
+    fc.add(rule::no_global_scheduler, toks[i].line,
+           "direct call to the deprecated singleton shim '" + toks[i].text +
+               "::get()' — take a worker_pool& (or call default_pool()) so "
+               "the caller stays routable onto instantiable pools");
+  }
+}
+
 // ---- waivers -------------------------------------------------------------
 
 struct waiver {
@@ -782,6 +809,7 @@ const char* rule_name(rule r) {
     case rule::atomics_rationale: return "atomics-rationale";
     case rule::arena_lifetime: return "arena-lifetime";
     case rule::parallel_capture: return "parallel-capture";
+    case rule::no_global_scheduler: return "no-global-scheduler";
   }
   return "?";
 }
@@ -811,6 +839,7 @@ analysis analyze_source(std::string_view text, std::string_view path) {
   check_atomics(fc);
   check_arena_lifetime(fc);
   check_parallel_captures(fc);
+  check_global_scheduler(fc);
   std::vector<waiver> waivers = parse_waivers(lx, fc.path, a.findings);
   apply_waivers(waivers, a.findings);
   std::sort(a.findings.begin(), a.findings.end(),

@@ -23,6 +23,13 @@
 //                      par_do must not write a captured non-atomic local
 //                      through a bare name — writes must go through a
 //                      per-index partition (x[i] = ...) or an atomic.
+//   no-global-scheduler
+//                      direct calls to the deprecated singleton accessor
+//                      (`scheduler::get()` / `worker_pool::get()`) outside
+//                      src/scheduler/ — new code takes a `worker_pool&` or
+//                      calls `default_pool()`, so callers stay routable
+//                      onto instantiable pools instead of hard-wiring the
+//                      process-wide one.
 //
 // Waiver syntax, on the finding's line or the line above:
 //   // parsemi-check: allow(<rule>[, <rule>...]) -- <reason>
@@ -46,9 +53,10 @@ enum class rule {
   atomics_rationale,
   arena_lifetime,
   parallel_capture,
+  no_global_scheduler,
 };
 
-inline constexpr int kNumRules = 4;
+inline constexpr int kNumRules = 5;
 
 const char* rule_name(rule r);
 bool rule_from_name(std::string_view name, rule& out);
