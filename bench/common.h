@@ -268,6 +268,7 @@ class bench_json {
       field("slots_per_record", s.slots_per_record());
       field("scatter_path", std::string(to_string(s.scatter_path_used)));
       field("scatter_atomics_saved", s.scatter_atomics_saved);
+      field("dispatch_path", std::string(to_string(s.dispatch_path_used)));
       // Execution-model telemetry: a non-zero fallback count means the run
       // was silently serialized (foreign caller, no pool routing).
       field("sequential_fallbacks", static_cast<size_t>(s.sequential_fallbacks));
@@ -291,6 +292,14 @@ class bench_json {
                              s.flush_hist.size());
       }
       field_object("buffered", buffered);
+      // Front-end dispatch telemetry: populated only when a fast path ran
+      // (the general pipeline never probes these).
+      row counting;
+      if (s.dispatch_path_used != dispatch_path::general) {
+        counting.field("key_domain_width", s.key_domain_width);
+        counting.field("passes", s.counting_passes);
+      }
+      field_object("counting", counting);
       return *this;
     }
 

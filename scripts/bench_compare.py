@@ -16,6 +16,12 @@ sidecar's "bench" field:
     sequential fallback was counted — concurrency changed nothing but the
     wall clock.
 
+  ablation_dispatch: per (distribution, key form), every dispatch strategy
+    produced the SAME output as the forced-general baseline, pre-hashed
+    keys never took a fast path (the domain probe must reject 64-bit hash
+    values), and at least one raw-key run actually exercised the counting
+    path — the ablation is vacuous if the probe never accepts.
+
 The sidecar is parsed with the standard json module, so this doubles as a
 strict validity check on the bench JSON writer (escaping, empty metric
 maps, non-finite floats).
@@ -38,6 +44,9 @@ import tempfile
 
 EXPECTED_PATHS = {"cas", "buffered", "blocked", "adaptive"}
 VALID_USED = {"cas", "buffered", "blocked"}
+
+EXPECTED_DISPATCH = {"general", "counting", "unstable", "adaptive"}
+VALID_DISPATCH_USED = {"general", "counting", "unstable", "offsets"}
 
 
 def _refuse_constant(name):
@@ -160,12 +169,83 @@ def check_throughput(doc):
     return ok
 
 
+def check_dispatch(doc):
+    """The dispatch-ablation invariants: per (distribution, keys) group all
+    four requested strategies ran, every row's checksum/key_runs match the
+    forced-general baseline, hashed-key rows never report a fast path
+    (except the degenerate single-key input, where one distinct hash value
+    IS a dense domain of width 1), and at least one raw-key row reports the
+    counting path."""
+    rows = doc.get("rows", [])
+    if not rows:
+        print("FAIL: sidecar has no rows", file=sys.stderr)
+        return False
+    by_group = {}
+    ok = True
+    counting_seen = False
+    for row in rows:
+        for key in ("distribution", "keys", "path_requested", "checksum",
+                    "key_runs", "dispatch_path"):
+            if key not in row:
+                print(f"FAIL: row missing '{key}': {row}", file=sys.stderr)
+                return False
+        if row["dispatch_path"] not in VALID_DISPATCH_USED:
+            print(f"FAIL: unknown dispatch_path '{row['dispatch_path']}'",
+                  file=sys.stderr)
+            ok = False
+        if (row["keys"] == "hashed" and row["dispatch_path"] != "general"
+                and row["key_runs"] > 1):
+            # With >1 distinct key, random 64-bit hashes span far beyond any
+            # dense domain; a fast path here means the probe accepted
+            # hash-range values it must reject.
+            print(f"FAIL: {row['distribution']} hashed keys took the "
+                  f"'{row['dispatch_path']}' path — the domain probe "
+                  f"accepted 64-bit hash values", file=sys.stderr)
+            ok = False
+        if row["keys"] == "raw" and row["dispatch_path"] == "counting":
+            counting_seen = True
+        by_group.setdefault((row["distribution"], row["keys"]),
+                            []).append(row)
+
+    for (dist, keys), group_rows in sorted(by_group.items()):
+        seen = {r["path_requested"] for r in group_rows}
+        missing = EXPECTED_DISPATCH - seen
+        if missing:
+            print(f"FAIL: {dist}/{keys}: strategies never ran: "
+                  f"{sorted(missing)}", file=sys.stderr)
+            ok = False
+        baseline = next((r for r in group_rows
+                         if r["path_requested"] == "general"), group_rows[0])
+        for r in group_rows:
+            if r["checksum"] != baseline["checksum"]:
+                print(f"FAIL: {dist}/{keys}: strategy {r['path_requested']} "
+                      f"checksum {r['checksum']} != general baseline "
+                      f"{baseline['checksum']}", file=sys.stderr)
+                ok = False
+            if r["key_runs"] != baseline["key_runs"]:
+                print(f"FAIL: {dist}/{keys}: strategy {r['path_requested']} "
+                      f"key_runs {r['key_runs']} != general baseline "
+                      f"{baseline['key_runs']}", file=sys.stderr)
+                ok = False
+        if ok:
+            print(f"ok: {dist}/{keys}: {len(group_rows)} rows agree "
+                  f"(checksum {baseline['checksum']}, "
+                  f"{baseline['key_runs']} key runs)")
+    if ok and any(r["keys"] == "raw" for r in rows) and not counting_seen:
+        print("FAIL: no raw-key row took the counting path — the ablation "
+              "never exercised the fast path", file=sys.stderr)
+        ok = False
+    return ok
+
+
 def check(doc):
     """Dispatch on the sidecar's bench name. Sidecars without a "bench"
     field (or from the scatter ablation) get the scatter-path check — the
     historical behaviour this module's unit tests pin down."""
     if doc.get("bench") == "throughput_concurrent":
         return check_throughput(doc)
+    if doc.get("bench") == "ablation_dispatch":
+        return check_dispatch(doc)
     return check_scatter_paths(doc)
 
 

@@ -214,6 +214,140 @@ class CheckThroughput(unittest.TestCase):
         self.assertIn("no rows", err)
 
 
+def make_dispatch_row(dist="uniform", keys="raw", requested="general",
+                      used=None, checksum="deadbeef", key_runs=42):
+    if used is None:
+        if keys == "hashed":
+            used = "general"
+        elif requested == "general":
+            used = "general"
+        elif requested == "unstable":
+            used = "unstable"
+        else:  # counting / adaptive on raw dense keys
+            used = "counting"
+    return {
+        "distribution": dist,
+        "keys": keys,
+        "path_requested": requested,
+        "dispatch_path": used,
+        "checksum": checksum,
+        "key_runs": key_runs,
+        "time_s": 1.25,
+    }
+
+
+def make_dispatch_doc(dists=("uniform", "zipf"), key_forms=("hashed", "raw")):
+    rows = []
+    for d in dists:
+        for k in key_forms:
+            for p in sorted(bench_compare.EXPECTED_DISPATCH):
+                rows.append(make_dispatch_row(dist=d, keys=k, requested=p))
+    return {"bench": "ablation_dispatch", "rows": rows}
+
+
+class CheckDispatch(unittest.TestCase):
+    """check() dispatches on doc["bench"]: ablation_dispatch sidecars get
+    the path-equivalence gate (checksums vs the general baseline, probe
+    rejects hashed keys, counting path actually exercised)."""
+
+    def test_agreeing_doc_passes(self):
+        ok, err = run_check(make_dispatch_doc())
+        self.assertTrue(ok, err)
+
+    def test_dispatch_goes_to_dispatch_check(self):
+        # A dispatch doc has no scatter_path key; if check() regressed to
+        # the scatter gate this would fail on missing keys.
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+        ok, err = run_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_empty_doc_fails(self):
+        ok, err = run_check({"bench": "ablation_dispatch", "rows": []})
+        self.assertFalse(ok)
+        self.assertIn("no rows", err)
+
+    def test_checksum_mismatch_fails_and_names_the_strategy(self):
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+        for row in doc["rows"]:
+            if row["path_requested"] == "unstable":
+                row["checksum"] = "0badf00d"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("unstable", err)
+        self.assertIn("checksum", err)
+
+    def test_key_runs_mismatch_fails(self):
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+        doc["rows"][-1]["key_runs"] = 7
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("key_runs", err)
+
+    def test_missing_strategy_fails(self):
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+        doc["rows"] = [r for r in doc["rows"]
+                       if r["path_requested"] != "counting"]
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("counting", err)
+        self.assertIn("never ran", err)
+
+    def test_hashed_keys_taking_a_fast_path_fails(self):
+        doc = make_dispatch_doc(dists=("uniform",))
+        for row in doc["rows"]:
+            if row["keys"] == "hashed" and \
+                    row["path_requested"] == "adaptive":
+                row["dispatch_path"] = "counting"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("probe", err)
+
+    def test_single_key_hashed_may_take_a_fast_path(self):
+        # uniform(1): one distinct key hashes to one distinct value, which
+        # IS a dense domain of width 1 — the probe is right to accept it.
+        doc = make_dispatch_doc(dists=("uniform",))
+        for row in doc["rows"]:
+            row["key_runs"] = 1
+            if row["keys"] == "hashed" and \
+                    row["path_requested"] in ("counting", "adaptive"):
+                row["dispatch_path"] = "counting"
+        ok, err = run_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_unknown_dispatch_path_fails(self):
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+        doc["rows"][0]["dispatch_path"] = "warp_drive"
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("warp_drive", err)
+
+    def test_counting_never_exercised_fails(self):
+        # Raw-key rows that all fell back to general: valid outputs, but
+        # the ablation proved nothing about the fast path.
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+        for row in doc["rows"]:
+            row["dispatch_path"] = ("unstable"
+                                    if row["path_requested"] == "unstable"
+                                    else "general")
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("never exercised", err)
+
+    def test_hashed_only_doc_needs_no_counting_row(self):
+        doc = make_dispatch_doc(dists=("uniform",), key_forms=("hashed",))
+        ok, err = run_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_row_missing_key_fails(self):
+        for key in ("distribution", "keys", "path_requested", "checksum",
+                    "key_runs", "dispatch_path"):
+            doc = make_dispatch_doc(dists=("uniform",), key_forms=("raw",))
+            del doc["rows"][0][key]
+            ok, err = run_check(doc)
+            self.assertFalse(ok, key)
+            self.assertIn(key, err)
+
+
 class CliJsonStrictness(unittest.TestCase):
     """End-to-end over the CLI: --json files with hostile content."""
 

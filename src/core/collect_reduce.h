@@ -60,6 +60,12 @@ std::vector<std::pair<K, V>> collect_reduce(
 }
 
 // Histogram convenience: counts occurrences of each distinct key.
+//
+// Result shape is offset-only: when the keys are integers in a small dense
+// domain with trivial equality, the default path is a pure histogram
+// (core/dispatch.h's `offsets` path) — no tags are built and no record is
+// ever grouped just to be counted, so peak_scratch_bytes is O(domain)
+// instead of O(n) tag arrays. Everything else runs on the tag spine.
 template <typename K, typename HashFn, typename Eq = std::equal_to<>>
 std::vector<std::pair<K, size_t>> count_by_key(
     std::span<const K> keys, HashFn hash, Eq eq = {},
@@ -68,7 +74,19 @@ std::vector<std::pair<K, size_t>> count_by_key(
   if (n == 0) return {};
   std::vector<std::pair<K, size_t>> out;
   internal::run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
     internal::context_binding bind(params);
+    // The offsets path counts exact key values, so it requires integral
+    // keys compared by value — a custom Eq could identify keys the
+    // histogram would count apart.
+    if constexpr (std::is_integral_v<K> &&
+                  (std::is_same_v<Eq, std::equal_to<>> ||
+                   std::is_same_v<Eq, std::equal_to<K>>)) {
+      if (internal::try_dispatch_count_by_key(keys, out, params, bind.ctx())) {
+        bind.finalize(params.stats);
+        return;
+      }
+    }
     auto eq_at = [&](uint64_t a, uint64_t b) { return eq(keys[a], keys[b]); };
     std::span<internal::key_tag> sorted = internal::tag_semisort(
         n, [&](size_t i) { return hash(keys[i]); }, params, bind.ctx());

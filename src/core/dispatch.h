@@ -1,0 +1,445 @@
+// Front-end dispatch (ROADMAP item 3): a layer *above* the pipeline that
+// inspects the key domain and the requested result shape, then routes the
+// call to a specialized integer fast path when one applies:
+//
+//   * counting — a direct stable counting/radix placement for small dense
+//     integer key domains (probe in core/key_domain.h): one blocked
+//     counting pass for domain widths ≤ 2^16, two 16-bit-digit LSB radix
+//     passes up to 2^32 (Dong et al. 2024's playbook). No sampling, no
+//     hashing, no Las-Vegas retry — and the output is fully sorted,
+//     stable, and byte-identical at every worker count.
+//   * unstable — counting placement that skips within-group order
+//     maintenance (Wu et al. 2023's unstable interface): O(width)
+//     auxiliary state and one atomic slot claim per record, for callers
+//     that only need equal keys contiguous.
+//   * offsets — offset-only result shapes that never move a record
+//     (count_by_key's histogram path below; group_by_index's index-only
+//     counting sort).
+//
+// Selection mirrors the Phase 3 scatter precedent (core/scatter.h):
+// the PARSEMI_DISPATCH_PATH environment variable beats
+// semisort_params::dispatch_with beats the adaptive default, and the path
+// actually taken is recorded in semisort_stats::dispatch_path_used. A
+// forced counting/unstable request whose key domain turns out ineligible
+// falls back to the general pipeline — recorded as general with
+// key_domain_width == 0, never a wrong answer.
+//
+// All scratch is arena-backed through the call's pipeline_context; the
+// fast paths uphold the zero-warm-heap-allocation contract the general
+// pipeline established (tests/alloc_regression_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "core/key_domain.h"
+#include "core/params.h"
+#include "core/pipeline_context.h"
+#include "primitives/histogram.h"
+#include "primitives/pack.h"
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+#include "util/env.h"
+
+namespace parsemi {
+namespace internal {
+
+// PARSEMI_DISPATCH_PATH override — same contract as PARSEMI_SCATTER_PATH:
+// "general" / "counting" / "unstable" force that strategy; "adaptive" and
+// unknown values fall through to the params knob. env_cstr never
+// allocates, so the per-call check keeps the zero-heap steady state.
+inline bool dispatch_strategy_from_env(
+    semisort_params::dispatch_strategy& out) {
+  const char* v = env_cstr("PARSEMI_DISPATCH_PATH");
+  if (v == nullptr) return false;
+  if (std::strcmp(v, "general") == 0) {
+    out = semisort_params::dispatch_strategy::general;
+    return true;
+  }
+  if (std::strcmp(v, "counting") == 0) {
+    out = semisort_params::dispatch_strategy::counting;
+    return true;
+  }
+  if (std::strcmp(v, "unstable") == 0) {
+    out = semisort_params::dispatch_strategy::unstable;
+    return true;
+  }
+  return false;
+}
+
+inline semisort_params::dispatch_strategy resolve_dispatch_strategy(
+    const semisort_params& params) {
+  semisort_params::dispatch_strategy forced;
+  if (dispatch_strategy_from_env(forced)) return forced;
+  return params.dispatch_with;
+}
+
+// Stable blocked counting placement over `width` buckets: per-block
+// histogram (primitives/histogram.h), bucket base offsets from a scan of
+// the column totals, per-column strided scans turning the count matrix
+// into absolute per-block cursors, then a placement pass where block b
+// owns row b of the matrix as its private cursors. Zero atomics, and the
+// block-major claim order makes the result stable — and byte-identical at
+// every worker count. place(i, pos) receives the source index and its
+// destination slot; bucket_at(i) must be < width.
+template <typename BucketAt, typename PlaceFn>
+void counting_place_stable(size_t n, size_t width, BucketAt&& bucket_at,
+                           PlaceFn&& place, pipeline_context& ctx) {
+  arena_scope scope(ctx.scratch);
+  size_t block = histogram_block_size(n, width);
+  size_t num_blocks = histogram_num_blocks(n, block);
+  size_t* counts = ctx.scratch.alloc<size_t>(num_blocks * width);
+  histogram_blocks(n, block, width, counts, bucket_at);
+  std::span<size_t> totals(ctx.scratch.alloc<size_t>(width), width);
+  parallel_for(0, width, [&](size_t k) {
+    size_t sum = 0;
+    for (size_t b = 0; b < num_blocks; ++b) sum += counts[b * width + k];
+    totals[k] = sum;
+  });
+  size_t scan_blocks = scan_num_blocks(width);
+  std::span<size_t> scan_scratch(ctx.scratch.alloc<size_t>(scan_blocks),
+                                 scan_blocks);
+  scan_exclusive_inplace(totals, size_t{0}, scan_scratch);
+  parallel_for(0, width, [&](size_t k) {
+    scan_exclusive_strided(counts + k, num_blocks, width, totals[k]);
+  });
+  parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+    size_t* cursor = counts + b * width;
+    for (size_t i = lo; i < hi; ++i) place(i, cursor[bucket_at(i)]++);
+  });
+}
+
+// Unstable counting placement: O(width) auxiliary state instead of the
+// blocked count matrix, one pass shape for every eligible width. Each
+// record costs two relaxed fetch_adds; within-group order is whatever the
+// claim race produced (the groups themselves are exact).
+template <typename BucketAt, typename PlaceFn>
+void counting_place_unstable(size_t n, size_t width, BucketAt&& bucket_at,
+                             PlaceFn&& place, pipeline_context& ctx) {
+  arena_scope scope(ctx.scratch);
+  std::span<size_t> offsets(ctx.scratch.alloc<size_t>(width), width);
+  parallel_for_blocks(width, scan_block_size(width),
+                      [&](size_t, size_t lo, size_t hi) {
+                        std::fill(offsets.begin() + static_cast<ptrdiff_t>(lo),
+                                  offsets.begin() + static_cast<ptrdiff_t>(hi),
+                                  size_t{0});
+                      });
+  size_t block = scan_block_size(n);
+  // Count pass: relaxed suffices — the counters are the only shared state
+  // and the fork-join barrier orders every increment before the scan below
+  // reads them.
+  parallel_for_blocks(n, block, [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      std::atomic_ref<size_t>(offsets[bucket_at(i)])
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  size_t scan_blocks = scan_num_blocks(width);
+  std::span<size_t> scan_scratch(ctx.scratch.alloc<size_t>(scan_blocks),
+                                 scan_blocks);
+  scan_exclusive_inplace(offsets, size_t{0}, scan_scratch);
+  // Claim pass: one relaxed fetch_add per record hands it a slot no other
+  // record gets — uniqueness is all placement needs, and the join
+  // publishes the placed stores to the caller.
+  parallel_for_blocks(n, block, [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      size_t pos = std::atomic_ref<size_t>(offsets[bucket_at(i)])
+                       .fetch_add(1, std::memory_order_relaxed);
+      place(i, pos);
+    }
+  });
+}
+
+// Stable counting semisort over an accepted dense domain. One blocked pass
+// when the width fits 2^16 buckets; otherwise two 16-bit-digit LSB radix
+// passes — pass 1 (low digit) into an arena temp, pass 2 (high digit) from
+// the temp into `out`, which preserves pass 1's order within equal high
+// digits, so the composition is a stable sort by key. When `out` aliases
+// `in` (the in-place entry), the one-pass shape places into a temp and
+// copies back; the two-pass shape is alias-safe as-is because pass 2 never
+// reads `in`.
+template <typename Record, typename GetKey>
+void counting_semisort(std::span<const Record> in, std::span<Record> out,
+                       GetKey&& get_key, const key_domain& dom,
+                       const semisort_params& params, bool aliased,
+                       pipeline_context& ctx) {
+  size_t n = in.size();
+  phase_timer* pt = params.timings;
+  if (pt != nullptr) pt->start();
+  arena_scope frame(ctx.scratch);
+  uint64_t min = dom.min;
+  size_t passes;
+  if (dom.width <= kCountingOnePassMaxWidth) {
+    passes = 1;
+    std::span<Record> dst = out;
+    if (aliased) dst = std::span<Record>(ctx.scratch.alloc<Record>(n), n);
+    counting_place_stable(
+        n, static_cast<size_t>(dom.width),
+        [&](size_t i) { return static_cast<size_t>(get_key(in[i]) - min); },
+        [&](size_t i, size_t pos) { dst[pos] = in[i]; }, ctx);
+    if (pt != nullptr) pt->record("dispatch count place");
+    if (aliased) {
+      parallel_for_blocks(n, scan_block_size(n),
+                          [&](size_t, size_t lo, size_t hi) {
+                            for (size_t i = lo; i < hi; ++i) out[i] = dst[i];
+                          });
+      if (pt != nullptr) pt->record("dispatch copy back");
+    }
+  } else {
+    passes = 2;
+    std::span<Record> tmp(ctx.scratch.alloc<Record>(n), n);
+    size_t high_width = static_cast<size_t>(((dom.width - 1) >> 16) + 1);
+    counting_place_stable(
+        n, static_cast<size_t>(kCountingOnePassMaxWidth),
+        [&](size_t i) {
+          return static_cast<size_t>((get_key(in[i]) - min) & 0xffff);
+        },
+        [&](size_t i, size_t pos) { tmp[pos] = in[i]; }, ctx);
+    if (pt != nullptr) pt->record("dispatch radix pass 1");
+    counting_place_stable(
+        n, high_width,
+        [&](size_t i) {
+          // parsemi-check: allow(arena-lifetime) -- digit value, not a pointer
+          return static_cast<size_t>((get_key(tmp[i]) - min) >> 16);
+        },
+        [&](size_t i, size_t pos) { out[pos] = tmp[i]; }, ctx);
+    if (pt != nullptr) pt->record("dispatch radix pass 2");
+  }
+  if (params.stats != nullptr) {
+    semisort_stats& st = *params.stats;
+    st.n = n;
+    st.dispatch_path_used = dispatch_path::counting;
+    st.key_domain_width = static_cast<size_t>(dom.width);
+    st.counting_passes = passes;
+  }
+}
+
+// Unstable counting semisort: same grouping contract minus within-group
+// order. Single pass at every eligible width (the O(width) offset array
+// stays ≤ 16n bytes by the density bound).
+template <typename Record, typename GetKey>
+void unstable_counting_semisort(std::span<const Record> in,
+                                std::span<Record> out, GetKey&& get_key,
+                                const key_domain& dom,
+                                const semisort_params& params, bool aliased,
+                                pipeline_context& ctx) {
+  size_t n = in.size();
+  phase_timer* pt = params.timings;
+  if (pt != nullptr) pt->start();
+  arena_scope frame(ctx.scratch);
+  uint64_t min = dom.min;
+  std::span<Record> dst = out;
+  if (aliased) dst = std::span<Record>(ctx.scratch.alloc<Record>(n), n);
+  counting_place_unstable(
+      n, static_cast<size_t>(dom.width),
+      [&](size_t i) { return static_cast<size_t>(get_key(in[i]) - min); },
+      [&](size_t i, size_t pos) { dst[pos] = in[i]; }, ctx);
+  if (pt != nullptr) pt->record("dispatch count place");
+  if (aliased) {
+    parallel_for_blocks(n, scan_block_size(n),
+                        [&](size_t, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i) out[i] = dst[i];
+                        });
+    if (pt != nullptr) pt->record("dispatch copy back");
+  }
+  if (params.stats != nullptr) {
+    semisort_stats& st = *params.stats;
+    st.n = n;
+    st.dispatch_path_used = dispatch_path::unstable;
+    st.key_domain_width = static_cast<size_t>(dom.width);
+    st.counting_passes = 1;
+  }
+}
+
+// Front-end hook for semisort_hashed / semisort_hashed_inplace, called
+// after context binding: resolves the strategy, probes the key domain, and
+// runs a counting kernel when both agree. Returns true when the call was
+// fully handled (output written, stats recorded). A false return means the
+// general pipeline must run; the probe's rejection is visible in stats as
+// key_domain_width == 0.
+template <typename Record, typename GetKey>
+bool try_dispatch_semisort(std::span<const Record> in, std::span<Record> out,
+                           GetKey&& get_key, const semisort_params& params,
+                           bool aliased, pipeline_context& ctx) {
+  using strategy = semisort_params::dispatch_strategy;
+  strategy s = resolve_dispatch_strategy(params);
+  if (s == strategy::general) return false;
+  key_domain dom = probe_key_domain(
+      in.size(), [&](size_t i) { return get_key(in[i]); }, ctx);
+  if (params.stats != nullptr) {
+    params.stats->key_domain_width =
+        dom.dense ? static_cast<size_t>(dom.width) : 0;
+  }
+  if (!dom.dense) return false;
+  if (s == strategy::unstable) {
+    unstable_counting_semisort(in, out, get_key, dom, params, aliased, ctx);
+  } else {
+    counting_semisort(in, out, get_key, dom, params, aliased, ctx);
+  }
+  return true;
+}
+
+// Offset-only count_by_key (the `offsets` result shape): a pure histogram
+// over the dense domain — no tags, no scatter, and no record ever moves;
+// the only heap allocation is the (key, count) result itself. `Result` is
+// std::vector<std::pair<K, size_t>>; the integral-key / trivial-equality
+// gate lives at the call site (core/collect_reduce.h). Returns true when
+// handled.
+template <typename K, typename Result>
+bool try_dispatch_count_by_key(std::span<const K> keys, Result& out,
+                               const semisort_params& params,
+                               pipeline_context& ctx) {
+  using strategy = semisort_params::dispatch_strategy;
+  strategy s = resolve_dispatch_strategy(params);
+  if (s == strategy::general) return false;
+  size_t n = keys.size();
+  key_domain dom = probe_key_domain(
+      n, [&](size_t i) { return to_ordered_u64(keys[i]); }, ctx);
+  if (params.stats != nullptr) {
+    params.stats->key_domain_width =
+        dom.dense ? static_cast<size_t>(dom.width) : 0;
+  }
+  if (!dom.dense) return false;
+  phase_timer* pt = params.timings;
+  if (pt != nullptr) pt->start();
+  arena_scope frame(ctx.scratch);
+  size_t width = static_cast<size_t>(dom.width);
+  std::span<size_t> totals(ctx.scratch.alloc<size_t>(width), width);
+  if (dom.width <= kCountingOnePassMaxWidth) {
+    size_t block = histogram_block_size(n, width);
+    size_t num_blocks = histogram_num_blocks(n, block);
+    size_t* counts = ctx.scratch.alloc<size_t>(num_blocks * width);
+    auto bucket_at = [&](size_t i) {
+      return static_cast<size_t>(to_ordered_u64(keys[i]) - dom.min);
+    };
+    histogram_blocks(n, block, width, counts, bucket_at);
+    parallel_for(0, width, [&](size_t k) {
+      size_t sum = 0;
+      for (size_t b = 0; b < num_blocks; ++b) sum += counts[b * width + k];
+      totals[k] = sum;
+    });
+  } else {
+    // Wide domains: the blocked matrix would dwarf n, so accumulate with
+    // relaxed atomics instead — the fork-join barrier orders every
+    // increment before the reads below, which is all the counting needs.
+    parallel_for_blocks(width, scan_block_size(width),
+                        [&](size_t, size_t lo, size_t hi) {
+                          std::fill(
+                              totals.begin() + static_cast<ptrdiff_t>(lo),
+                              totals.begin() + static_cast<ptrdiff_t>(hi),
+                              size_t{0});
+                        });
+    parallel_for_blocks(n, scan_block_size(n),
+                        [&](size_t, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i) {
+                            size_t k = static_cast<size_t>(
+                                to_ordered_u64(keys[i]) - dom.min);
+                            std::atomic_ref<size_t>(totals[k]).fetch_add(
+                                1, std::memory_order_relaxed);
+                          }
+                        });
+  }
+  std::span<size_t> nonempty = pack_index_arena(
+      width,
+      // parsemi-check: allow(arena-lifetime) -- bool value, not a pointer
+      [&](size_t k) { return totals[k] != 0; }, ctx.scratch);
+  out.resize(nonempty.size());
+  parallel_for(0, nonempty.size(), [&](size_t g) {
+    size_t k = nonempty[g];
+    out[g] = {from_ordered_u64<K>(dom.min + k), totals[k]};
+  });
+  if (pt != nullptr) pt->record("dispatch count offsets");
+  if (params.stats != nullptr) {
+    semisort_stats& st = *params.stats;
+    st.n = n;
+    st.dispatch_path_used = dispatch_path::offsets;
+    st.key_domain_width = width;
+    st.counting_passes = 1;
+  }
+  return true;
+}
+
+// Dense fast path for group_by_index: a counting sort of the *indices* —
+// the records themselves never move, matching the operator's contract.
+// `Result` is grouped_indices (core/group_by.h; templated to keep this
+// header below it in the include graph). Stable placement under the
+// counting strategies (order within a group = input order), atomic-claim
+// placement under unstable. Returns true when handled.
+template <typename Record, typename GetKey, typename Result>
+bool try_dispatch_group_by_index(std::span<const Record> in, GetKey&& get_key,
+                                 const semisort_params& params, Result& result,
+                                 pipeline_context& ctx) {
+  using strategy = semisort_params::dispatch_strategy;
+  strategy s = resolve_dispatch_strategy(params);
+  if (s == strategy::general) return false;
+  size_t n = in.size();
+  key_domain dom = probe_key_domain(
+      n, [&](size_t i) { return get_key(in[i]); }, ctx);
+  if (params.stats != nullptr) {
+    params.stats->key_domain_width =
+        dom.dense ? static_cast<size_t>(dom.width) : 0;
+  }
+  if (!dom.dense) return false;
+  phase_timer* pt = params.timings;
+  if (pt != nullptr) pt->start();
+  arena_scope frame(ctx.scratch);
+  uint64_t min = dom.min;
+  result.order.resize(n);
+  std::span<size_t> order(result.order.data(), n);
+  size_t passes = 1;
+  if (s == strategy::unstable) {
+    counting_place_unstable(
+        n, static_cast<size_t>(dom.width),
+        [&](size_t i) { return static_cast<size_t>(get_key(in[i]) - min); },
+        [&](size_t i, size_t pos) { order[pos] = i; }, ctx);
+  } else if (dom.width <= kCountingOnePassMaxWidth) {
+    counting_place_stable(
+        n, static_cast<size_t>(dom.width),
+        [&](size_t i) { return static_cast<size_t>(get_key(in[i]) - min); },
+        [&](size_t i, size_t pos) { order[pos] = i; }, ctx);
+  } else {
+    passes = 2;
+    std::span<size_t> tmp(ctx.scratch.alloc<size_t>(n), n);
+    size_t high_width = static_cast<size_t>(((dom.width - 1) >> 16) + 1);
+    counting_place_stable(
+        n, static_cast<size_t>(kCountingOnePassMaxWidth),
+        [&](size_t i) {
+          return static_cast<size_t>((get_key(in[i]) - min) & 0xffff);
+        },
+        [&](size_t i, size_t pos) { tmp[pos] = i; }, ctx);
+    counting_place_stable(
+        n, high_width,
+        [&](size_t i) {
+          // parsemi-check: allow(arena-lifetime) -- digit value, not a pointer
+          return static_cast<size_t>((get_key(in[tmp[i]]) - min) >> 16);
+        },
+        [&](size_t i, size_t pos) { order[pos] = tmp[i]; }, ctx);
+  }
+  if (pt != nullptr) pt->record("dispatch index place");
+  std::span<size_t> starts = pack_index_arena(
+      n,
+      [&](size_t i) {
+        return i == 0 || get_key(in[order[i]]) != get_key(in[order[i - 1]]);
+      },
+      ctx.scratch);
+  result.group_start.assign(starts.begin(), starts.end());
+  result.group_start.push_back(n);
+  if (pt != nullptr) pt->record("dispatch group starts");
+  if (params.stats != nullptr) {
+    semisort_stats& st = *params.stats;
+    st.n = n;
+    st.dispatch_path_used = s == strategy::unstable ? dispatch_path::unstable
+                                                    : dispatch_path::counting;
+    st.key_domain_width = static_cast<size_t>(dom.width);
+    st.counting_passes = s == strategy::unstable ? 1 : passes;
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace parsemi

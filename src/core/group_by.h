@@ -105,7 +105,15 @@ grouped_indices group_by_index(std::span<const Record> in, GetKey get_key = {},
   grouped_indices result;
   if (n == 0) return result;
   internal::run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
     internal::context_binding bind(params);
+    // Dense integer keys: counting-sort the indices directly
+    // (core/dispatch.h) — same never-move-the-records contract, no tags.
+    if (internal::try_dispatch_group_by_index(in, get_key, params, result,
+                                              bind.ctx())) {
+      bind.finalize(params.stats);
+      return;
+    }
     std::span<internal::key_tag> sorted = internal::tag_semisort(
         n, [&](size_t i) { return get_key(in[i]); }, params, bind.ctx());
     std::span<size_t> starts = internal::tag_group_starts(

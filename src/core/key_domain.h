@@ -1,0 +1,131 @@
+// Key-domain probe for the front-end dispatch (core/dispatch.h).
+//
+// The counting fast paths only pay off when the 64-bit keys of a call live
+// in a small *dense* integer domain — [min, max] with max − min bounded by
+// a small multiple of n. This header decides that question:
+//
+//   * to_ordered_u64 / from_ordered_u64 — an order-preserving bijection
+//     from any integral key type onto uint64_t (signed types get the usual
+//     sign-bit flip), so min/max arithmetic and bucket indices are uniform
+//     unsigned math regardless of the caller's key type.
+//   * probe_key_domain — two-stage min/max probe. Stage 1 scans a short
+//     sequential prefix; if even the prefix's span already exceeds the
+//     eligibility bound (hashed keys blow past it within a handful of
+//     records), the probe rejects without touching the rest of the input,
+//     so the adaptive default costs ~2048 key reads on pipeline-bound
+//     inputs. Stage 2 — required for a *correct* acceptance, since bucket
+//     indices are computed as key − min — is an exact parallel min/max
+//     over the whole input, blocked through arena scratch.
+//
+// Rejecting is always safe (the general pipeline handles everything);
+// accepting must be exact, which is why stage 2 never samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "core/pipeline_context.h"
+#include "primitives/scan.h"
+#include "scheduler/scheduler.h"
+
+namespace parsemi {
+namespace internal {
+
+// Order-preserving mapping of an integral key onto uint64_t: unsigned types
+// widen unchanged; signed types widen to int64_t then flip the sign bit, so
+// negative < non-negative order survives the unsigned comparison.
+template <typename K>
+constexpr uint64_t to_ordered_u64(K k) {
+  static_assert(std::is_integral_v<K>);
+  if constexpr (std::is_signed_v<K>) {
+    return static_cast<uint64_t>(static_cast<int64_t>(k)) ^
+           (uint64_t{1} << 63);
+  } else {
+    return static_cast<uint64_t>(k);
+  }
+}
+
+// Inverse of to_ordered_u64 — only called with values inside the observed
+// [min, max], so the narrowing cast back to K is value-preserving.
+template <typename K>
+constexpr K from_ordered_u64(uint64_t v) {
+  static_assert(std::is_integral_v<K>);
+  if constexpr (std::is_signed_v<K>) {
+    return static_cast<K>(static_cast<int64_t>(v ^ (uint64_t{1} << 63)));
+  } else {
+    return static_cast<K>(v);
+  }
+}
+
+struct key_domain {
+  bool dense = false;
+  uint64_t min = 0;
+  uint64_t width = 0;  // max − min + 1; meaningful only when dense
+};
+
+// Stage-1 prefix length: long enough that hashed/wide keys reject with
+// overwhelming probability, short enough to be noise on a pipeline run.
+inline constexpr size_t kDomainProbePrefix = 2048;
+// One-pass counting handles widths up to 2^16 buckets; wider domains (up
+// to 2^32) take two 16-bit-digit passes (core/dispatch.h).
+inline constexpr uint64_t kCountingOnePassMaxWidth = uint64_t{1} << 16;
+inline constexpr uint64_t kCountingMaxWidth = uint64_t{1} << 32;
+
+// Dense ⟺ span (max − min) strictly below 2n — at least half the buckets
+// expected occupied, so the O(width) passes stay O(n) — and within the
+// two-pass radix tier's reach. Takes the span, not the width: span never
+// overflows, width = span + 1 could.
+inline bool counting_domain_eligible(size_t n, uint64_t span) {
+  return span < 2 * static_cast<uint64_t>(n) && span < kCountingMaxWidth;
+}
+
+// Exact two-stage min/max probe; key_at(i) must already be ordered-u64.
+template <typename KeyAt>
+key_domain probe_key_domain(size_t n, KeyAt&& key_at, pipeline_context& ctx) {
+  key_domain d;
+  if (n == 0) return d;
+  // Stage 1: sequential prefix — conservative early reject only.
+  uint64_t mn = key_at(0), mx = mn;
+  size_t prefix = n < kDomainProbePrefix ? n : kDomainProbePrefix;
+  for (size_t i = 1; i < prefix; ++i) {
+    uint64_t k = key_at(i);
+    mn = k < mn ? k : mn;
+    mx = k > mx ? k : mx;
+  }
+  if (!counting_domain_eligible(n, mx - mn)) return d;
+  // Stage 2: exact full-input min/max (acceptance must be exact — bucket
+  // indices are key − min and the bucket count is max − min + 1).
+  if (n > prefix) {
+    arena_scope scope(ctx.scratch);
+    size_t block = scan_block_size(n);
+    size_t num_blocks = (n + block - 1) / block;
+    struct minmax {
+      uint64_t mn, mx;
+    };
+    minmax* partial = ctx.scratch.alloc<minmax>(num_blocks);
+    parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
+      uint64_t bmn = key_at(lo), bmx = bmn;
+      for (size_t i = lo + 1; i < hi; ++i) {
+        uint64_t k = key_at(i);
+        bmn = k < bmn ? k : bmn;
+        bmx = k > bmx ? k : bmx;
+      }
+      partial[b] = {bmn, bmx};
+    });
+    for (size_t b = 0; b < num_blocks; ++b) {
+      mn = partial[b].mn < mn ? partial[b].mn : mn;
+      mx = partial[b].mx > mx ? partial[b].mx : mx;
+    }
+  }
+  uint64_t span = mx - mn;
+  if (!counting_domain_eligible(n, span)) return d;
+  d.dense = true;
+  d.min = mn;
+  d.width = span + 1;
+  return d;
+}
+
+}  // namespace internal
+}  // namespace parsemi

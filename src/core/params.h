@@ -38,6 +38,31 @@ inline const char* to_string(scatter_path p) {
   return "?";
 }
 
+// The front-end path a call actually executed (core/dispatch.h) — selected
+// *above* the pipeline from the key domain and the requested result shape:
+//   general  — the paper's full hash–sample–scatter Las-Vegas pipeline
+//   counting — stable counting placement over a small dense integer key
+//              domain: one blocked pass for widths ≤ 2^16, two 16-bit-digit
+//              LSB passes up to 2^32 (Dong et al. 2024 style). Deterministic
+//              and stable at every worker count.
+//   unstable — counting placement that skips within-group order
+//              maintenance (one atomic cursor claim per record; the
+//              unstable interface of Wu et al. 2023). Same groups, order
+//              within a group unspecified.
+//   offsets  — offset-only result shape: counts/boundaries are computed
+//              without ever moving a record (count_by_key's histogram path).
+enum class dispatch_path : uint8_t { general, counting, unstable, offsets };
+
+inline const char* to_string(dispatch_path p) {
+  switch (p) {
+    case dispatch_path::general: return "general";
+    case dispatch_path::counting: return "counting";
+    case dispatch_path::unstable: return "unstable";
+    case dispatch_path::offsets: return "offsets";
+  }
+  return "?";
+}
+
 // Counters filled by a semisort run when requested — benches use these for
 // the "% heavy records" columns of Table 1 / Figure 1 and for memory
 // accounting in the ablations.
@@ -103,6 +128,20 @@ struct semisort_stats {
   // the end-of-scatter drain of partially filled buffers.
   static constexpr size_t kFlushBins = 16;
   std::array<size_t, kFlushBins> flush_hist{};
+
+  // --- front-end dispatch telemetry (core/dispatch.h) ---
+  // Which front-end path the call executed. `general` both when the general
+  // pipeline was selected outright and when a forced counting/unstable
+  // request fell back because the key domain was ineligible — the fallback
+  // is visible as general here plus key_domain_width == 0.
+  dispatch_path dispatch_path_used = dispatch_path::general;
+  // Dense key-domain width (max − min + 1) when the probe accepted; 0 when
+  // the probe rejected or never ran (dispatch pinned to general).
+  size_t key_domain_width = 0;
+  // Placement passes the counting path ran: 1 = one-pass counting
+  // (width ≤ 2^16), 2 = two 16-bit-digit radix passes; 0 off the counting
+  // paths.
+  size_t counting_passes = 0;
 
   double heavy_fraction() const {
     return n == 0 ? 0.0 : static_cast<double>(heavy_records) / static_cast<double>(n);
@@ -186,6 +225,18 @@ struct semisort_params {
   // to CAS so the ablation measures what it names.
   enum class scatter_strategy : uint8_t { adaptive, cas, buffered, blocked };
   scatter_strategy scatter_with = scatter_strategy::adaptive;
+
+  // Front-end dispatch *above* the pipeline (core/dispatch.h). `adaptive`
+  // probes the key domain and takes the stable counting path when the keys
+  // occupy a small dense integer domain, the general pipeline otherwise;
+  // `general` pins the paper's pipeline (no probe); `counting` / `unstable`
+  // force the integer fast paths, falling back to general — recorded in
+  // stats as dispatch_path_used == general with key_domain_width == 0 —
+  // when the domain is ineligible. The PARSEMI_DISPATCH_PATH environment
+  // variable (general / counting / unstable / adaptive) overrides this knob
+  // without recompiling, mirroring PARSEMI_SCATTER_PATH.
+  enum class dispatch_strategy : uint8_t { adaptive, general, counting, unstable };
+  dispatch_strategy dispatch_with = dispatch_strategy::adaptive;
 
   size_t pack_intervals = 1000;     // §4 Phase 5 heavy-region pack intervals
 

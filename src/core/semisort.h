@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/bucket_plan.h"
+#include "core/dispatch.h"
 #include "core/local_sort.h"
 #include "core/pack_phase.h"
 #include "core/params.h"
@@ -269,11 +270,45 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
   return true;
 }
 
+// Shared body of semisort_hashed and semisort_hashed_inplace (which differ
+// only in whether `out` aliases `in`): bind the context, give the front-end
+// dispatch (core/dispatch.h) first refusal, and otherwise run the paper's
+// Las-Vegas attempt loop.
+template <typename Record, typename GetKey>
+void semisort_hashed_run(std::span<const Record> in, std::span<Record> out,
+                         GetKey get_key, const semisort_params& params,
+                         bool aliased, const char* who) {
+  run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
+    context_binding bind(params);
+    if (try_dispatch_semisort(in, out, get_key, params, aliased, bind.ctx())) {
+      bind.finalize(params.stats);
+      return;
+    }
+    double alpha = params.alpha;
+    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+      if (params.timings != nullptr && attempt > 0) params.timings->clear();
+      if (semisort_attempt(in, out, get_key, params, alpha,
+                           static_cast<uint64_t>(attempt), bind.ctx())) {
+        if (params.stats != nullptr) params.stats->restarts = attempt;
+        bind.finalize(params.stats);
+        return;
+      }
+      alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
+    }
+    throw std::runtime_error(std::string("parsemi::") + who +
+                             ": bucket overflow persisted after retries");
+  });
+}
+
 }  // namespace internal
 
 // Semisorts `in` into `out` (same length) by the 64-bit hashed key
 // `get_key(record)`. Keys are assumed uniformly distributed over 64 bits
-// (pre-hashed); use parsemi::semisort for raw keys.
+// (pre-hashed); use parsemi::semisort for raw keys. (Keys that are *not*
+// hash-distributed still sort correctly: when they occupy a small dense
+// integer domain the adaptive front end takes the counting fast path —
+// core/dispatch.h.)
 template <typename Record, typename GetKey = record_key>
 void semisort_hashed(std::span<const Record> in, std::span<Record> out,
                      GetKey get_key = {},
@@ -290,31 +325,18 @@ void semisort_hashed(std::span<const Record> in, std::span<Record> out,
     });
     return;
   }
-  internal::run_with_pool_override(params, [&] {
-    if (params.stats != nullptr) *params.stats = {};
-    internal::context_binding bind(params);
-    double alpha = params.alpha;
-    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
-      if (params.timings != nullptr && attempt > 0) params.timings->clear();
-      if (internal::semisort_attempt(in, out, get_key, params, alpha,
-                                     static_cast<uint64_t>(attempt),
-                                     bind.ctx())) {
-        if (params.stats != nullptr) params.stats->restarts = attempt;
-        bind.finalize(params.stats);
-        return;
-      }
-      alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
-    }
-    throw std::runtime_error(
-        "parsemi::semisort_hashed: bucket overflow persisted after retries");
-  });
+  internal::semisort_hashed_run(in, out, get_key, params,
+                                /*aliased=*/in.data() == out.data(),
+                                "semisort_hashed");
 }
 
 // In-place semisort: reorders `data` directly. Works because the
 // algorithm consumes its input during the scatter phase — every record is
 // already in the bucket array before the pack writes the output — and all
 // Las-Vegas retries trigger before the pack, while the input is still
-// intact. Same cost as the copying version minus the output allocation.
+// intact (the dispatch fast paths stage through arena scratch to keep the
+// same guarantee). Same cost as the copying version minus the output
+// allocation.
 template <typename Record, typename GetKey = record_key>
 void semisort_hashed_inplace(std::span<Record> data, GetKey get_key = {},
                              const semisort_params& params = {}) {
@@ -328,26 +350,9 @@ void semisort_hashed_inplace(std::span<Record> data, GetKey get_key = {},
               });
     return;
   }
-  internal::run_with_pool_override(params, [&] {
-    if (params.stats != nullptr) *params.stats = {};
-    internal::context_binding bind(params);
-    double alpha = params.alpha;
-    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
-      if (params.timings != nullptr && attempt > 0) params.timings->clear();
-      if (internal::semisort_attempt(std::span<const Record>(data), data,
-                                     get_key, params, alpha,
-                                     static_cast<uint64_t>(attempt),
-                                     bind.ctx())) {
-        if (params.stats != nullptr) params.stats->restarts = attempt;
-        bind.finalize(params.stats);
-        return;
-      }
-      alpha *= 2.0;
-    }
-    throw std::runtime_error(
-        "parsemi::semisort_hashed_inplace: bucket overflow persisted after "
-        "retries");
-  });
+  internal::semisort_hashed_run(std::span<const Record>(data), data, get_key,
+                                params, /*aliased=*/true,
+                                "semisort_hashed_inplace");
 }
 
 // Convenience: returns the semisorted copy. Copy-constructs the output

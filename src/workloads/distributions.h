@@ -98,6 +98,24 @@ inline std::vector<record> generate_records(size_t n,
   return out;
 }
 
+// Raw-key variant of generate_records: stores the underlying key v itself,
+// unhashed. The multiplicity structure is identical, but the key *values*
+// now cluster near the distribution's scale instead of filling 64 bits —
+// the small dense integer domains the front-end dispatch's counting path
+// targets (core/dispatch.h). Benches and dispatch tests pair each Table 1
+// spec's hashed and raw forms to exercise both sides of the domain probe.
+inline std::vector<record> generate_records_raw(size_t n,
+                                                const distribution_spec& spec,
+                                                uint64_t seed = 1) {
+  std::vector<record> out(n);
+  rng base(splitmix64(seed));
+  parallel_for(0, n, [&](size_t i) {
+    out[i] = record{draw_underlying_key(spec, base, i),
+                    static_cast<uint64_t>(i)};
+  });
+  return out;
+}
+
 // The paper's 17 Table 1 / Figure 1 distributions, n = input size (uniform's
 // largest parameter and exponential's λ are expressed relative to n in the
 // paper's size-scaling experiments; Table 1 uses the absolute values below

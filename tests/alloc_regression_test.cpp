@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/collect_reduce.h"
 #include "core/group_by.h"
 #include "core/pipeline_context.h"
 #include "core/semisort.h"
@@ -200,6 +201,87 @@ TEST(AllocRegression, DerivedOperatorAllocatesOnlyItsResults) {
   // order + group_start (and nothing proportional to the pipeline): a
   // handful of allocations, not hundreds.
   EXPECT_LE(delta, 8u) << delta << " heap allocations for one group_by_index";
+}
+
+TEST(AllocRegression, CountingDispatchPathsZeroHeapAllocationsWhenWarm) {
+  // The front-end dispatch's counting kernels (core/dispatch.h) provision
+  // count matrices, offsets, and staging buffers from the same arena as the
+  // general pipeline. Forcing each dispatch strategy — across both the
+  // one-pass tier (width ≤ 2^16) and the two-pass radix tier — must stay
+  // zero-alloc once the shared context is warm.
+  size_t n = 150000;
+  // One-pass tier: dense domain of width 50000 < 2^16.
+  auto narrow = generate_records_raw(n, {distribution_kind::uniform, 50000}, 5);
+  // Two-pass radix tier: width 100000 > 2^16 (and < 2n, so still eligible).
+  auto wide = generate_records_raw(n, {distribution_kind::uniform, 100000}, 6);
+  std::vector<record> out(n);
+
+  pipeline_context ctx;
+  semisort_stats stats;
+  semisort_params params;
+  params.context = &ctx;
+  params.stats = &stats;
+
+  constexpr semisort_params::dispatch_strategy kStrategies[] = {
+      semisort_params::dispatch_strategy::counting,
+      semisort_params::dispatch_strategy::unstable,
+      semisort_params::dispatch_strategy::adaptive,
+  };
+  for (auto s : kStrategies) {  // warm every path × tier footprint
+    params.dispatch_with = s;
+    for (int round = 0; round < 2; ++round) {
+      semisort_hashed(std::span<const record>(narrow), std::span<record>(out),
+                      record_key{}, params);
+      semisort_hashed(std::span<const record>(wide), std::span<record>(out),
+                      record_key{}, params);
+    }
+  }
+  for (auto s : kStrategies) {
+    params.dispatch_with = s;
+    size_t before = heap_allocs();
+    for (int round = 0; round < 3; ++round) {
+      semisort_hashed(std::span<const record>(narrow), std::span<record>(out),
+                      record_key{}, params);
+      EXPECT_NE(stats.dispatch_path_used, dispatch_path::general);
+      semisort_hashed(std::span<const record>(wide), std::span<record>(out),
+                      record_key{}, params);
+      EXPECT_NE(stats.dispatch_path_used, dispatch_path::general);
+    }
+    size_t leaked = heap_allocs() - before;
+    EXPECT_EQ(leaked, 0u) << leaked
+                          << " heap allocations on dispatch strategy "
+                          << static_cast<int>(s);
+    EXPECT_TRUE(testing::valid_semisort(out, wide));
+  }
+}
+
+TEST(AllocRegression, CountByKeyOffsetsAllocatesOnlyTheResult) {
+  // The offset-only count_by_key never materializes grouped data: in steady
+  // state its only heap allocation is the result vector itself.
+  size_t n = 100000;
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = (i * 31) % 1000;
+
+  pipeline_context ctx;
+  semisort_stats stats;
+  semisort_params params;
+  params.context = &ctx;
+  params.stats = &stats;
+  auto identity = [](uint64_t k) { return k; };
+
+  for (int round = 0; round < 3; ++round) {
+    auto counts = count_by_key(std::span<const uint64_t>(keys), identity,
+                               std::equal_to<>{}, params);
+    ASSERT_EQ(counts.size(), 1000u);
+  }
+  size_t before = heap_allocs();
+  auto counts = count_by_key(std::span<const uint64_t>(keys), identity,
+                             std::equal_to<>{}, params);
+  size_t delta = heap_allocs() - before;
+  EXPECT_EQ(stats.dispatch_path_used, dispatch_path::offsets);
+  EXPECT_EQ(counts.size(), 1000u);
+  // The result vector (and nothing proportional to n).
+  EXPECT_LE(delta, 4u) << delta << " heap allocations for one count_by_key";
 }
 
 TEST(AllocRegression, WarmGatewayResubmissionMakesZeroHeapAllocations) {
