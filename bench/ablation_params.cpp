@@ -88,14 +88,15 @@ void BM_LocalSortAlgo(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalSortAlgo)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
-void BM_WorkspaceReuse(benchmark::State& state) {
-  // range(0): 0 = fresh allocation per call, 1 = reused workspace.
+void BM_ContextReuse(benchmark::State& state) {
+  // range(0): 0 = fresh allocation per call, 1 = reused pipeline_context
+  // (warm arena, zero heap allocations in steady state).
   semisort_params params;
-  semisort_workspace ws;
-  if (state.range(0) != 0) params.workspace = &ws;
+  pipeline_context ctx;
+  if (state.range(0) != 0) params.context = &ctx;
   run_semisort(state, input_mixed(), params);
 }
-BENCHMARK(BM_WorkspaceReuse)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContextReuse)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

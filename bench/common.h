@@ -292,6 +292,16 @@ class bench_json {
                              s.flush_hist.size());
       }
       field_object("buffered", buffered);
+      // Out-of-core telemetry: emitted whenever the run went through the
+      // budget-aware front door (shards >= 1); `{}` for legacy stats that
+      // never saw the shard driver.
+      row shard;
+      if (s.shards >= 1) {
+        shard.field("shards", s.shards);
+        shard.field("spilled_bytes", s.spilled_bytes);
+        shard.field("peak_scratch_bytes", s.shard_peak_scratch_bytes);
+      }
+      field_object("shard", shard);
       // Front-end dispatch telemetry: populated only when a fast path ran
       // (the general pipeline never probes these).
       row counting;

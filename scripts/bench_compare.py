@@ -22,6 +22,13 @@ sidecar's "bench" field:
     values), and at least one raw-key run actually exercised the counting
     path — the ablation is vacuous if the probe never accepts.
 
+  table4_size_scaling: every row reports a well-formed shard{} sidecar
+    (shards >= 1; spill accounting zero on single-shard rows; spilled and
+    peak-scratch telemetry present on sharded rows). With --require-sharded
+    the run is additionally required to have actually gone out of core: at
+    least one budgeted row with shards > 1 — the gate the 10^9-record
+    reproduction point runs under.
+
 The sidecar is parsed with the standard json module, so this doubles as a
 strict validity check on the bench JSON writer (escaping, empty metric
 maps, non-finite floats).
@@ -238,7 +245,74 @@ def check_dispatch(doc):
     return ok
 
 
-def check(doc):
+def check_size_scaling(doc, require_sharded=False):
+    """The out-of-core size-scaling invariants: every row carries a
+    well-formed shard{} object (the budget-aware front door always reports
+    shards >= 1), single-shard rows spilled nothing, sharded rows carry the
+    spill/peak-scratch telemetry, and — under --require-sharded — at least
+    one budgeted row actually went out of core."""
+    rows = doc.get("rows", [])
+    if not rows:
+        print("FAIL: sidecar has no rows", file=sys.stderr)
+        return False
+    ok = True
+    sharded_rows = 0
+    last_n = {}
+    for row in rows:
+        for key in ("distribution", "n", "memory_budget", "par_s", "shard"):
+            if key not in row:
+                print(f"FAIL: row missing '{key}': {row}", file=sys.stderr)
+                return False
+        label = f"{row['distribution']} n={row['n']}"
+        # The bench emits each distribution's size ladder in ascending
+        # order; a non-monotone n means rows were dropped or reordered.
+        if row["n"] <= last_n.get(row["distribution"], 0):
+            print(f"FAIL: {label}: n not strictly increasing within the "
+                  f"distribution's ladder", file=sys.stderr)
+            ok = False
+        last_n[row["distribution"]] = row["n"]
+        shard = row["shard"]
+        if not isinstance(shard, dict) or "shards" not in shard:
+            print(f"FAIL: {label}: shard sidecar missing or empty "
+                  f"(the run never went through the budget front door)",
+                  file=sys.stderr)
+            ok = False
+            continue
+        if shard["shards"] < 1:
+            print(f"FAIL: {label}: shards = {shard['shards']} < 1",
+                  file=sys.stderr)
+            ok = False
+        if shard["shards"] == 1 and shard.get("spilled_bytes", 0) != 0:
+            print(f"FAIL: {label}: single-shard row reports "
+                  f"{shard['spilled_bytes']} spilled bytes", file=sys.stderr)
+            ok = False
+        if shard["shards"] > 1:
+            sharded_rows += 1
+            if row["memory_budget"] == 0:
+                print(f"FAIL: {label}: sharded with no budget set",
+                      file=sys.stderr)
+                ok = False
+            for key in ("spilled_bytes", "peak_scratch_bytes"):
+                if key not in shard:
+                    print(f"FAIL: {label}: sharded row missing shard.{key}",
+                          file=sys.stderr)
+                    ok = False
+        if not (isinstance(row["par_s"], (int, float))
+                and row["par_s"] is not True and row["par_s"] > 0):
+            print(f"FAIL: {label}: par_s = {row['par_s']!r} is not a "
+                  f"positive time", file=sys.stderr)
+            ok = False
+    if require_sharded and sharded_rows == 0:
+        print("FAIL: --require-sharded: no row ran with shards > 1 — the "
+              "budget never forced the run out of core", file=sys.stderr)
+        ok = False
+    if ok:
+        print(f"ok: {len(rows)} size-scaling rows well-formed "
+              f"({sharded_rows} ran sharded)")
+    return ok
+
+
+def check(doc, require_sharded=False):
     """Dispatch on the sidecar's bench name. Sidecars without a "bench"
     field (or from the scatter ablation) get the scatter-path check — the
     historical behaviour this module's unit tests pin down."""
@@ -246,6 +320,8 @@ def check(doc):
         return check_throughput(doc)
     if doc.get("bench") == "ablation_dispatch":
         return check_dispatch(doc)
+    if doc.get("bench") == "table4_size_scaling":
+        return check_size_scaling(doc, require_sharded)
     return check_scatter_paths(doc)
 
 
@@ -255,6 +331,9 @@ def main():
     ap.add_argument("--json", help="pre-existing sidecar to check instead")
     ap.add_argument("--n", type=int, default=200000)
     ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument("--require-sharded", action="store_true",
+                    help="table4_size_scaling only: fail unless at least "
+                         "one row ran with shards > 1")
     ap.add_argument("extra", nargs="*",
                     help="extra args forwarded to the bench binary")
     args = ap.parse_args()
@@ -267,7 +346,7 @@ def main():
     else:
         ap.error("one of --bench or --json is required")
 
-    if not check(doc):
+    if not check(doc, require_sharded=args.require_sharded):
         sys.exit(1)
     print("all checks passed")
 

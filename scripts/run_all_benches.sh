@@ -22,6 +22,13 @@ run table2_breakdown "$@"
 run table3_breakdown "$@"
 run fig2_thread_scaling "$@"
 run table4_size_scaling "$@"
+
+# Out-of-core variant: the same size ladder under an enforced memory budget
+# (the semisort shards; the shard counts land in the table and the sidecar).
+echo "=== table4_size_scaling --budget ${PARSEMI_BENCH_BUDGET:-256M} (out-of-core) ==="
+"$BUILD/bench/table4_size_scaling" --budget "${PARSEMI_BENCH_BUDGET:-256M}" "$@" \
+  > "$OUT/table4_size_scaling_budgeted.txt" 2> >(grep -v '^  done:' >&2 || true)
+echo "    -> $OUT/table4_size_scaling_budgeted.txt"
 run fig4_sort_comparison "$@"
 run fig5_scatter_pack "$@"
 run table5_other_sorts "$@"

@@ -348,10 +348,138 @@ class CheckDispatch(unittest.TestCase):
             self.assertIn(key, err)
 
 
+def make_scaling_row(dist="uniform(n)", n=1000000, budget=0, par_s=0.5,
+                     shards=1, spilled=0, peak=1 << 20):
+    shard = {"shards": shards}
+    if shards > 1 or spilled:
+        shard["spilled_bytes"] = spilled
+        shard["peak_scratch_bytes"] = peak
+    else:
+        shard["spilled_bytes"] = 0
+        shard["peak_scratch_bytes"] = peak
+    return {
+        "distribution": dist,
+        "n": n,
+        "memory_budget": budget,
+        "par_s": par_s,
+        "shard": shard,
+    }
+
+
+def make_scaling_doc(rows=None):
+    if rows is None:
+        rows = [
+            make_scaling_row(n=1000000),
+            make_scaling_row(n=100000000, budget=1 << 30, shards=8,
+                             spilled=16 * 100000000),
+        ]
+    return {"bench": "table4_size_scaling", "rows": rows}
+
+
+def run_scaling_check(doc, require_sharded=False):
+    err = io.StringIO()
+    with redirect_stdout(io.StringIO()), redirect_stderr(err):
+        ok = bench_compare.check(doc, require_sharded=require_sharded)
+    return ok, err.getvalue()
+
+
+class CheckSizeScaling(unittest.TestCase):
+    """check() dispatches on doc["bench"]: table4_size_scaling sidecars get
+    the out-of-core gate (well-formed shard{} objects, spill accounting,
+    and — with require_sharded — proof the run actually sharded)."""
+
+    def test_well_formed_doc_passes(self):
+        ok, err = run_scaling_check(make_scaling_doc())
+        self.assertTrue(ok, err)
+
+    def test_dispatch_goes_to_scaling_check(self):
+        # A scaling doc has no scatter_path key; if check() regressed to
+        # the scatter gate this would fail on missing keys.
+        ok, err = run_scaling_check(make_scaling_doc())
+        self.assertTrue(ok, err)
+
+    def test_empty_doc_fails(self):
+        ok, err = run_scaling_check({"bench": "table4_size_scaling",
+                                     "rows": []})
+        self.assertFalse(ok)
+        self.assertIn("no rows", err)
+
+    def test_row_missing_key_fails(self):
+        for key in ("distribution", "n", "memory_budget", "par_s", "shard"):
+            doc = make_scaling_doc()
+            del doc["rows"][0][key]
+            ok, err = run_scaling_check(doc)
+            self.assertFalse(ok, key)
+            self.assertIn(key, err)
+
+    def test_empty_shard_object_fails(self):
+        # A `{}` shard sidecar means the run bypassed the budget front door.
+        doc = make_scaling_doc()
+        doc["rows"][0]["shard"] = {}
+        ok, err = run_scaling_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("front door", err)
+
+    def test_single_shard_row_must_not_spill(self):
+        doc = make_scaling_doc(rows=[
+            make_scaling_row(shards=1, spilled=4096)])
+        ok, err = run_scaling_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("spilled", err)
+
+    def test_sharded_row_without_budget_fails(self):
+        doc = make_scaling_doc(rows=[
+            make_scaling_row(budget=0, shards=4, spilled=0)])
+        ok, err = run_scaling_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("no budget", err)
+
+    def test_sharded_row_missing_telemetry_fails(self):
+        doc = make_scaling_doc()
+        del doc["rows"][1]["shard"]["peak_scratch_bytes"]
+        ok, err = run_scaling_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("peak_scratch_bytes", err)
+
+    def test_nonpositive_time_fails(self):
+        doc = make_scaling_doc()
+        doc["rows"][0]["par_s"] = 0
+        ok, err = run_scaling_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("par_s", err)
+
+    def test_non_monotone_n_within_a_distribution_fails(self):
+        doc = make_scaling_doc(rows=[
+            make_scaling_row(n=2000000),
+            make_scaling_row(n=1000000)])
+        ok, err = run_scaling_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("increasing", err)
+
+    def test_size_ladders_are_per_distribution(self):
+        # A second distribution restarting its ladder at a smaller n is
+        # fine; only within-distribution order matters.
+        doc = make_scaling_doc(rows=[
+            make_scaling_row(dist="exponential(n/1e3)", n=2000000),
+            make_scaling_row(dist="uniform(n)", n=1000000)])
+        ok, err = run_scaling_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_require_sharded_fails_on_all_in_memory_run(self):
+        doc = make_scaling_doc(rows=[make_scaling_row(shards=1)])
+        ok, err = run_scaling_check(doc, require_sharded=True)
+        self.assertFalse(ok)
+        self.assertIn("out of core", err)
+
+    def test_require_sharded_passes_when_a_row_sharded(self):
+        ok, err = run_scaling_check(make_scaling_doc(), require_sharded=True)
+        self.assertTrue(ok, err)
+
+
 class CliJsonStrictness(unittest.TestCase):
     """End-to-end over the CLI: --json files with hostile content."""
 
-    def run_cli(self, text):
+    def run_cli(self, text, *extra):
         with tempfile.NamedTemporaryFile("w", suffix=".json",
                                          delete=False) as f:
             f.write(text)
@@ -360,7 +488,7 @@ class CliJsonStrictness(unittest.TestCase):
             script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                   "bench_compare.py")
             return subprocess.run(
-                [sys.executable, script, "--json", path],
+                [sys.executable, script, "--json", path, *extra],
                 capture_output=True, text=True)
         finally:
             os.unlink(path)
@@ -386,6 +514,12 @@ class CliJsonStrictness(unittest.TestCase):
     def test_truncated_json_is_rejected(self):
         res = self.run_cli(json.dumps(make_doc())[:-20])
         self.assertNotEqual(res.returncode, 0)
+
+    def test_require_sharded_flag_reaches_the_scaling_check(self):
+        doc = make_scaling_doc(rows=[make_scaling_row(shards=1)])
+        res = self.run_cli(json.dumps(doc), "--require-sharded")
+        self.assertEqual(res.returncode, 1, res.stderr)
+        self.assertIn("out of core", res.stderr)
 
 
 class NonFiniteParse(unittest.TestCase):

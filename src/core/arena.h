@@ -1,6 +1,5 @@
 // Bump-allocation arena — the single memory plan behind every semisort
-// phase (via core/pipeline_context.h) and behind the deprecated
-// `semisort_workspace` shim.
+// phase (via core/pipeline_context.h).
 //
 // The pipeline's scratch (sample array, bucket-plan tables, the big slot
 // array, per-bucket counts, pack offsets, derived-operator tag arrays) has
@@ -19,9 +18,8 @@
 //     enclosing checkpoint is rewound.
 //   * alloc() bumps within the current block, advancing to the next block
 //     (or growing) on exhaustion. Blocks are exact-fit for the request that
-//     created them, never rounded up to pages: the `semisort_workspace`
-//     growth contract ("capacity grows ≥ 1.5× or not at all") depends on
-//     this.
+//     created them, never rounded up to pages: the geometric growth
+//     contract ("capacity grows ≥ 1.5× or not at all") depends on this.
 //   * mark()/rewind() snapshot and restore the bump position; arena_scope
 //     is the RAII form. Rewinding never releases memory — release() does.
 //   * Large fresh blocks are first-touch primed by a parallel_for writing

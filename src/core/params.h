@@ -14,7 +14,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/workspace.h"
+#include "core/pipeline_context.h"
 #include "util/timer.h"
 
 namespace parsemi {
@@ -143,6 +143,16 @@ struct semisort_stats {
   // paths.
   size_t counting_passes = 0;
 
+  // --- out-of-core telemetry (shard/shard_driver.h) ---
+  // Shards the call executed: 1 for the in-memory path, > 1 when the memory
+  // budget routed the call through the shard driver. Bytes written to
+  // mmap-backed spill runs (0 when the partition could reuse the caller's
+  // output storage), and the largest per-shard engine scratch high-water —
+  // the number to compare against the budget's scratch share.
+  size_t shards = 0;
+  size_t spilled_bytes = 0;
+  size_t shard_peak_scratch_bytes = 0;
+
   double heavy_fraction() const {
     return n == 0 ? 0.0 : static_cast<double>(heavy_records) / static_cast<double>(n);
   }
@@ -244,6 +254,14 @@ struct semisort_params {
   uint64_t seed = 42;               // randomness for sampling & scatter
   int max_retries = 4;              // restarts (α doubles each time)
   size_t sequential_cutoff = 256;   // below this, just std::sort by key
+  // Byte ceiling on input + scratch held in memory at once. 0 = unset: the
+  // PARSEMI_MEMORY_BUDGET environment variable applies if present, else
+  // unlimited. SIZE_MAX = explicitly unlimited (ignores the env var too —
+  // the shard driver pins its inner per-shard calls with this so sharding
+  // never recurses). When the projected footprint (n·record_bytes plus the
+  // scratch model's estimate, core/pipeline_context.h) exceeds the budget,
+  // the call routes through the shard driver (shard/shard_driver.h).
+  size_t memory_budget_bytes = 0;
   phase_timer* timings = nullptr;   // optional per-phase breakdown
   semisort_stats* stats = nullptr;  // optional counters
   pipeline_context* context = nullptr;  // optional reusable scratch + rng
@@ -251,10 +269,6 @@ struct semisort_params {
                                     // reuse across calls for zero-alloc
                                     // steady state. Not thread-safe across
                                     // concurrent calls.
-  semisort_workspace* workspace = nullptr;  // deprecated: pre-context
-                                    // scratch API (core/workspace.h); its
-                                    // embedded context is used when
-                                    // `context` is null. Prefer `context`.
   worker_pool* pool = nullptr;      // executor override: a caller foreign
                                     // to this pool has the whole call
                                     // shipped through worker_pool::run (so

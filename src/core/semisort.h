@@ -23,9 +23,16 @@
 // Memory plan: every phase draws scratch from one pipeline_context arena
 // (core/pipeline_context.h); each Las-Vegas attempt is an arena checkpoint
 // that is rewound whether the attempt succeeds or not. Callers that pass a
-// context via semisort_params::context (or a legacy semisort_workspace)
-// reuse its capacity across calls — steady state performs zero heap
-// allocations (tests/alloc_regression_test.cpp asserts this).
+// context via semisort_params::context reuse its capacity across calls —
+// steady state performs zero heap allocations
+// (tests/alloc_regression_test.cpp asserts this).
+//
+// Out-of-core: when a memory budget is set (params.memory_budget_bytes or
+// PARSEMI_MEMORY_BUDGET) and the projected input + scratch footprint
+// exceeds it, the call routes through the shard driver
+// (shard/shard_driver.h, included below), which partitions by hash prefix
+// and runs this same in-memory engine once per budgeted shard. Unbudgeted
+// calls take the path below unchanged.
 #pragma once
 
 #include <algorithm>
@@ -50,6 +57,7 @@
 #include "hashing/hash64.h"
 #include "primitives/merge.h"
 #include "sort/radix_sort.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "workloads/record.h"
 
@@ -57,19 +65,16 @@ namespace parsemi {
 
 namespace internal {
 
-// Resolves the pipeline_context a call runs on — params.context, else the
-// deprecated workspace's embedded context, else a stack-local one — and
-// owns the per-call arena frame and accounting for the outermost call on
-// that context (derived operators re-enter with the same context; only the
-// outermost frame marks/rewinds the arena base and publishes the memory
-// plan to stats via finalize()).
+// Resolves the pipeline_context a call runs on — params.context, else a
+// stack-local one — and owns the per-call arena frame and accounting for
+// the outermost call on that context (derived operators re-enter with the
+// same context; only the outermost frame marks/rewinds the arena base and
+// publishes the memory plan to stats via finalize()).
 class context_binding {
  public:
   explicit context_binding(const semisort_params& params) {
     if (params.context != nullptr) {
       ctx_ = params.context;
-    } else if (params.workspace != nullptr) {
-      ctx_ = &params.workspace->context();
     } else {
       local_.emplace();
       ctx_ = &*local_;
@@ -270,16 +275,45 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
   return true;
 }
 
+// Out-of-core shard driver (shard/shard_driver.h, included at the bottom
+// of this header — the tag_semisort arrangement): partitions by hash
+// prefix into budget-sized shards and runs the in-memory engine per shard.
+template <typename Record, typename GetKey>
+void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
+                             GetKey get_key, const semisort_params& params,
+                             size_t budget, bool aliased, const char* who);
+
+// The memory budget in force for a call: the explicit param wins;
+// 0 defers to PARSEMI_MEMORY_BUDGET; SIZE_MAX (the shard driver's inner
+// calls) means unconditionally unlimited. Returns 0 for "unlimited" —
+// allocation-free, so the unbudgeted fast path stays zero-heap.
+inline size_t resolve_memory_budget(const semisort_params& params) {
+  if (params.memory_budget_bytes == SIZE_MAX) return 0;
+  if (params.memory_budget_bytes != 0) return params.memory_budget_bytes;
+  return static_cast<size_t>(
+      env_byte_size("PARSEMI_MEMORY_BUDGET").value_or(0));
+}
+
 // Shared body of semisort_hashed and semisort_hashed_inplace (which differ
-// only in whether `out` aliases `in`): bind the context, give the front-end
-// dispatch (core/dispatch.h) first refusal, and otherwise run the paper's
-// Las-Vegas attempt loop.
+// only in whether `out` aliases `in`): route to the shard driver when a
+// memory budget demands it; otherwise bind the context, give the front-end
+// dispatch (core/dispatch.h) first refusal, and run the paper's Las-Vegas
+// attempt loop.
 template <typename Record, typename GetKey>
 void semisort_hashed_run(std::span<const Record> in, std::span<Record> out,
                          GetKey get_key, const semisort_params& params,
                          bool aliased, const char* who) {
+  size_t budget = resolve_memory_budget(params);
+  if (budget != 0 &&
+      scratch_model{}.footprint_bytes(in.size(), sizeof(Record)) > budget) {
+    semisort_hashed_sharded(in, out, get_key, params, budget, aliased, who);
+    return;
+  }
   run_with_pool_override(params, [&] {
-    if (params.stats != nullptr) *params.stats = {};
+    if (params.stats != nullptr) {
+      *params.stats = {};
+      params.stats->shards = 1;  // the in-memory path is one shard
+    }
     context_binding bind(params);
     if (try_dispatch_semisort(in, out, get_key, params, aliased, bind.ctx())) {
       bind.finalize(params.stats);
@@ -374,3 +408,6 @@ std::vector<Record> semisort_hashed(std::span<const Record> in,
 // The general-key `semisort` (and the tag-semisort-permute spine every
 // derived operator shares) builds on semisort_hashed; see that header.
 #include "core/tag_semisort.h"
+// The out-of-core shard driver defines internal::semisort_hashed_sharded,
+// forward-declared above, in terms of the public entry points.
+#include "shard/shard_driver.h"

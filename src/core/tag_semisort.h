@@ -63,7 +63,6 @@ std::span<key_tag> tag_semisort(size_t n, KeyAt&& key_at,
   key_tag* sorted = ctx.scratch.alloc<key_tag>(n);
   semisort_params inner = params;
   inner.context = &ctx;  // re-enter the same arena (depth > 0: not owner)
-  inner.workspace = nullptr;
   semisort_hashed(std::span<const key_tag>(tags, n),
                   std::span<key_tag>(sorted, n),
                   [](const key_tag& t) { return t.key; }, inner);

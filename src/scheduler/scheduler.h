@@ -192,12 +192,6 @@ class worker_pool {
   // behaviour, preserved so existing call sites keep their parallelism.
   static worker_pool& default_pool();
 
-  // Deprecated singleton accessor, kept so pre-pool call sites compile.
-  // New code names a pool (or uses the free functions, which resolve the
-  // calling thread's pool); the parsemi-check `no-global-scheduler` rule
-  // flags uses of this shim outside src/scheduler/.
-  static worker_pool& get() { return default_pool(); }
-
   // The pool the calling thread acts on by default: the pool it is a
   // member of, else the default pool.
   static worker_pool& resolve() {
@@ -360,10 +354,6 @@ class worker_pool {
   std::atomic<int> num_sleeping_{0};
   std::atomic<uint64_t> work_epoch_{0};
 };
-
-// Compatibility alias: the pre-pool spelling `scheduler::get()` (and the
-// type name itself) keeps compiling against the default pool.
-using scheduler = worker_pool;
 
 // ---- Convenience free functions (the public surface everything else uses).
 // Each resolves the calling thread's pool: workers act on their own pool,

@@ -19,6 +19,36 @@ const char* env_cstr(const char* name) {
   return (v == nullptr || *v == '\0') ? nullptr : v;
 }
 
+std::optional<uint64_t> parse_byte_size(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  const char* p = s;
+  if (*p < '0' || *p > '9') return std::nullopt;  // no signs, no whitespace
+  uint64_t value = 0;
+  for (; *p >= '0' && *p <= '9'; ++p) {
+    uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  int shift = 0;
+  switch (*p) {
+    case 'k': case 'K': shift = 10; ++p; break;
+    case 'm': case 'M': shift = 20; ++p; break;
+    case 'g': case 'G': shift = 30; ++p; break;
+    case 't': case 'T': shift = 40; ++p; break;
+    default: break;
+  }
+  if (shift > 0 && (*p == 'b' || *p == 'B')) ++p;  // "64KB" == "64K"
+  if (*p != '\0') return std::nullopt;             // trailing garbage
+  if (shift > 0 && value > (UINT64_MAX >> shift)) return std::nullopt;
+  return value << shift;
+}
+
+std::optional<uint64_t> env_byte_size(const char* name) {
+  const char* v = env_cstr(name);
+  if (v == nullptr) return std::nullopt;
+  return parse_byte_size(v);
+}
+
 arg_parser::arg_parser(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -78,6 +108,15 @@ double arg_parser::get_double(const std::string& name, double fallback) const {
   } catch (const std::exception&) {
     bad_value(name, *v);
   }
+}
+
+uint64_t arg_parser::get_bytes(const std::string& name,
+                               uint64_t fallback) const {
+  auto v = find(name);
+  if (!v || v->empty()) return fallback;
+  auto parsed = parse_byte_size(v->c_str());
+  if (!parsed) bad_value(name, *v);
+  return *parsed;
 }
 
 std::string arg_parser::get_string(const std::string& name,

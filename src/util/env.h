@@ -18,6 +18,18 @@ std::optional<int64_t> env_int(const char* name);
 // breaking the zero-heap steady state.
 const char* env_cstr(const char* name);
 
+// Parses a human byte size: a non-negative integer with an optional binary
+// suffix K/M/G/T (case-insensitive, ×1024 each) and an optional trailing
+// 'B' ("512M", "2g", "64KB", "16384"). Whitespace, signs, fractions,
+// trailing garbage, and values that overflow uint64 all yield nullopt.
+// Allocation-free, so the per-call PARSEMI_MEMORY_BUDGET resolution in the
+// semisort entry points keeps the zero-heap steady state.
+std::optional<uint64_t> parse_byte_size(const char* s);
+
+// parse_byte_size over an environment variable; nullopt when unset, empty,
+// or unparsable.
+std::optional<uint64_t> env_byte_size(const char* name);
+
 // Minimal `--flag value` / `--flag=value` / `--switch` parser. Unrecognized
 // positional arguments are kept in `positional()`.
 class arg_parser {
@@ -27,6 +39,9 @@ class arg_parser {
   // --name <v> or --name=<v>; returns fallback when absent.
   int64_t get_int(const std::string& name, int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  // Byte-size flag ("--memory-budget 512M"); exits 2 naming the flag on an
+  // unparsable value, like the other numeric getters.
+  uint64_t get_bytes(const std::string& name, uint64_t fallback) const;
   std::string get_string(const std::string& name, const std::string& fallback) const;
   bool has(const std::string& name) const;
 

@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,17 +85,27 @@ inline uint64_t draw_underlying_key(const distribution_spec& spec, rng base,
   return 0;
 }
 
-// Generates n pre-hashed records in parallel. payload = record index, which
-// tests use to verify the output is a permutation of the input.
+// Fills caller-owned storage with n pre-hashed records in parallel.
+// payload = record index, which tests use to verify the output is a
+// permutation of the input. The span form exists for storage the caller
+// cannot (or should not) get from the heap — e.g. the out-of-core benches
+// generate 10^9 records straight into a file-backed mapping.
+inline void generate_records_into(std::span<record> out,
+                                  const distribution_spec& spec,
+                                  uint64_t seed = 1) {
+  rng base(splitmix64(seed));
+  parallel_for(0, out.size(), [&](size_t i) {
+    uint64_t v = draw_underlying_key(spec, base, i);
+    out[i] = record{hash64(v), static_cast<uint64_t>(i)};
+  });
+}
+
+// Generates n pre-hashed records in parallel (vector convenience form).
 inline std::vector<record> generate_records(size_t n,
                                             const distribution_spec& spec,
                                             uint64_t seed = 1) {
   std::vector<record> out(n);
-  rng base(splitmix64(seed));
-  parallel_for(0, n, [&](size_t i) {
-    uint64_t v = draw_underlying_key(spec, base, i);
-    out[i] = record{hash64(v), static_cast<uint64_t>(i)};
-  });
+  generate_records_into(std::span<record>(out), spec, seed);
   return out;
 }
 

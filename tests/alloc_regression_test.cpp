@@ -115,6 +115,38 @@ TEST(AllocRegression, SteadyStateSemisortMakesZeroHeapAllocations) {
   EXPECT_LE(stats.peak_scratch_bytes, stats.scratch_capacity_bytes);
 }
 
+TEST(AllocRegression, BudgetedSingleShardPathStaysZeroAlloc) {
+  // A memory budget generous enough to fit the call must leave the
+  // in-memory fast path untouched: the routing check (scratch model +
+  // PARSEMI_MEMORY_BUDGET getenv probe) is allocation-free, and stats
+  // report the run as exactly one shard.
+  size_t n = 120000;
+  auto in = generate_records(n, {distribution_kind::exponential, 1000}, 44);
+  std::vector<record> out(n);
+
+  pipeline_context ctx;
+  semisort_stats stats;
+  semisort_params params;
+  params.context = &ctx;
+  params.stats = &stats;
+  params.memory_budget_bytes = size_t{16} << 30;  // fits easily: one shard
+
+  for (int round = 0; round < 3; ++round) {
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+  }
+  size_t before = heap_allocs();
+  for (int round = 0; round < 5; ++round) {
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+  }
+  size_t leaked = heap_allocs() - before;
+  EXPECT_EQ(leaked, 0u)
+      << leaked << " heap allocations on the budgeted single-shard path";
+  EXPECT_EQ(stats.shards, 1u);
+  EXPECT_TRUE(testing::valid_semisort(out, in));
+}
+
 TEST(AllocRegression, EveryScatterPathZeroHeapAllocationsWhenWarm) {
   // The engine's buffered and blocked paths provision their write buffers /
   // count matrices from the same arena — forcing each path (plus the env

@@ -147,10 +147,10 @@ TEST(Arena, ParallelPrimingUnderScheduleFuzz) {
   EXPECT_EQ(a.alloc_count(), 1u);
 }
 
-TEST(Arena, ExactFitBlocksKeepWorkspaceGrowthContract) {
+TEST(Arena, ExactFitBlocksKeepGeometricGrowthContract) {
   // Blocks are exact-fit (never page-rounded): a request slightly above
-  // current capacity must trigger real geometric growth, which the
-  // deprecated semisort_workspace's documented policy depends on.
+  // current capacity must trigger real geometric growth ("capacity grows
+  // >= 1.5x or not at all").
   arena a;
   a.alloc<uint64_t>(100);
   EXPECT_EQ(a.capacity_bytes(), 800u);

@@ -31,6 +31,26 @@ cmp -s "$DIR/got.txt" "$DIR/want.txt" || {
   echo "lines: counts differ"; cat "$DIR/got.txt"; exit 1;
 }
 
+# Budgeted (out-of-core) sort: a budget far below the footprint must shard,
+# still verify as semisorted, and hold the same record multiset as the
+# unbudgeted output (canonicalize: one hex line per 16-byte record, sorted).
+"$CLI" --mode sort --in "$DIR/records.bin" --out "$DIR/grouped_budget.bin" \
+       --memory-budget 512K > "$DIR/sort_budget.txt"
+grep -q 'shards=' "$DIR/sort_budget.txt" || {
+  echo "budgeted sort: no shard count reported"; exit 1;
+}
+if grep -q 'shards=1 ' "$DIR/sort_budget.txt"; then
+  echo "budgeted sort: tiny budget did not shard"; exit 1
+fi
+"$CLI" --mode verify --in "$DIR/grouped_budget.bin" | grep -q '^OK:' || {
+  echo "budgeted sort: output not semisorted"; exit 1;
+}
+od -An -v -tx8 -w16 "$DIR/grouped.bin"        | sort > "$DIR/canon_plain.txt"
+od -An -v -tx8 -w16 "$DIR/grouped_budget.bin" | sort > "$DIR/canon_budget.txt"
+cmp -s "$DIR/canon_plain.txt" "$DIR/canon_budget.txt" || {
+  echo "budgeted sort: record multiset differs from unbudgeted"; exit 1;
+}
+
 # Malformed numeric flag must exit 2 with a named error, not terminate().
 if "$CLI" --mode generate --n abc --out "$DIR/z.bin" 2> "$DIR/err.txt"; then
   echo "generate: accepted garbage --n"; exit 1

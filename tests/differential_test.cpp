@@ -25,7 +25,8 @@ struct diff_config {
   size_t n = 0;
   distribution_spec spec{distribution_kind::uniform, 1000};
   semisort_params params;
-  bool use_workspace = false;
+  bool use_context = false;
+  size_t memory_budget = 0;  // 0 = unlimited; else forces the shard driver
   uint64_t data_seed = 0;
   uint64_t sched_seed = 0;  // 0 = schedule fuzzing off
   int workers = 0;          // 0 = leave pool untouched
@@ -76,7 +77,13 @@ diff_config generate(rng& r) {
   c.n = 1000 + proptest::log_uniform_u64(r, 1, 120000);
   c.spec = random_spec(r);
   c.params = random_params(r);
-  c.use_workspace = proptest::chance(r, 0.25);
+  c.use_context = proptest::chance(r, 0.25);
+  // ~30%: a budget of 32K..16M bytes — far under most drawn inputs'
+  // footprint, so the sharded (out-of-core) route runs through the same
+  // differential property as the in-memory path.
+  if (proptest::chance(r, 0.3)) {
+    c.memory_budget = size_t{1} << (15 + r.next_below(10));
+  }
   c.data_seed = r.next();
   c.sched_seed = sched_fuzz::kCompiledIn ? (r.next() | 1) : 0;
   c.workers = proptest::pick(r, {0, 1, 2, 3, 4});
@@ -96,7 +103,8 @@ std::string describe(const diff_config& c) {
      << " scatter=" << static_cast<int>(c.params.scatter_with)
      << " localsort=" << static_cast<int>(c.params.local_sort)
      << " samplesort=" << static_cast<int>(c.params.sample_sort_with)
-     << " pack=" << c.params.pack_intervals << " ws=" << c.use_workspace
+     << " pack=" << c.params.pack_intervals << " ctx=" << c.use_context
+     << " budget=" << c.memory_budget
      << " data_seed=" << c.data_seed << " sched_seed=" << c.sched_seed
      << " workers=" << c.workers;
   return os.str();
@@ -105,9 +113,10 @@ std::string describe(const diff_config& c) {
 std::optional<std::string> hashed_agrees_with_reference(const diff_config& c) {
   proptest::scoped_workers w(c.workers);
   sched_fuzz::scoped_enable fuzz(c.sched_seed);
-  semisort_workspace ws;
+  pipeline_context ctx;
   semisort_params params = c.params;
-  if (c.use_workspace) params.workspace = &ws;
+  if (c.use_context) params.context = &ctx;
+  params.memory_budget_bytes = c.memory_budget;
 
   auto in = generate_records(c.n, c.spec, c.data_seed);
   std::vector<record> out(c.n);
@@ -137,14 +146,17 @@ std::vector<diff_config> shrink(const diff_config& c) {
     mutate(d);
     out.push_back(d);
   };
-  // Boldest first: drop the schedule fuzzing (proves schedule-independence),
-  // drop to one worker, then cut the input, then reset knobs to defaults.
+  // Boldest first: drop the memory budget (proves the failure is not the
+  // shard driver's), drop the schedule fuzzing (proves
+  // schedule-independence), drop to one worker, then cut the input, then
+  // reset knobs to defaults.
+  if (c.memory_budget != 0) with([](diff_config& d) { d.memory_budget = 0; });
   if (c.sched_seed != 0) with([](diff_config& d) { d.sched_seed = 0; });
   if (c.workers != 1) with([](diff_config& d) { d.workers = 1; });
   for (uint64_t nn : proptest::shrink_toward(c.n, 1000)) {
     with([nn](diff_config& d) { d.n = nn; });
   }
-  if (c.use_workspace) with([](diff_config& d) { d.use_workspace = false; });
+  if (c.use_context) with([](diff_config& d) { d.use_context = false; });
   semisort_params dflt;
   if (c.params.probing != dflt.probing) {
     with([&](diff_config& d) { d.params.probing = dflt.probing; });

@@ -64,10 +64,10 @@ TEST(InplaceSemisort, RetriesDoNotCorruptInput) {
   EXPECT_GE(stats.restarts, 1);
 }
 
-TEST(InplaceSemisort, WithWorkspace) {
-  semisort_workspace ws;
+TEST(InplaceSemisort, WithContext) {
+  pipeline_context ctx;
   semisort_params params;
-  params.workspace = &ws;
+  params.context = &ctx;
   for (int round = 0; round < 3; ++round) {
     auto data = generate_records(
         60000 + round * 9001, {distribution_kind::zipfian, 2000},
@@ -76,6 +76,29 @@ TEST(InplaceSemisort, WithWorkspace) {
     semisort_hashed_inplace(std::span<record>(data), record_key{}, params);
     ASSERT_TRUE(testing::valid_semisort(data, original)) << round;
   }
+}
+
+TEST(InplaceSemisort, BudgetedInplaceSpillsAndStaysCorrect) {
+  // In-place + budget is the spill path: the partition cannot reuse the
+  // caller's buffer (it IS the input), so runs go through an mmap-backed
+  // spill file and come back shard by shard.
+  semisort_params params;
+  semisort_stats stats;
+  params.stats = &stats;
+  auto data = generate_records(200000, {distribution_kind::uniform, 1u << 26}, 21);
+  // Fixed scratch floor + a quarter of the variable footprint: shards stay
+  // large enough to run the real (parallel) engine, which is what reports
+  // per-shard peak scratch.
+  scratch_model model;
+  size_t variable =
+      model.footprint_bytes(data.size(), sizeof(record)) - model.fixed_bytes;
+  params.memory_budget_bytes = model.fixed_bytes + variable / 4;
+  auto original = data;
+  semisort_hashed_inplace(std::span<record>(data), record_key{}, params);
+  EXPECT_TRUE(testing::valid_semisort(data, original));
+  EXPECT_GT(stats.shards, 1u);
+  EXPECT_EQ(stats.spilled_bytes, data.size() * sizeof(record));
+  EXPECT_GT(stats.shard_peak_scratch_bytes, 0u);
 }
 
 TEST(InplaceSemisort, InvalidParamsThrow) {

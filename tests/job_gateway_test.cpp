@@ -368,17 +368,12 @@ TEST(JobGateway, HandleLifecycle) {
   EXPECT_EQ(gateway.in_flight(), 0u);
 }
 
-// The singleton shim: worker_pool::get(), the `scheduler` alias, and the
-// free functions all keep resolving to the default pool.
-TEST(JobGateway, DefaultPoolShimStaysCompatible) {
-  // parsemi-check: allow(no-global-scheduler) -- this IS the shim's test
-  worker_pool& via_get = worker_pool::get();
-  EXPECT_EQ(&via_get, &worker_pool::default_pool());
-  // parsemi-check: allow(no-global-scheduler) -- pre-pool spelling, ditto
-  scheduler& via_alias = scheduler::get();
-  EXPECT_EQ(&via_alias, &via_get);
-  EXPECT_EQ(num_workers(), via_get.num_workers());
-  // A standalone pool is a different domain with its own worker count.
+// The free functions resolve to the default pool from a foreign thread,
+// and a standalone pool is its own scheduling domain with its own worker
+// count. (The pre-pool `scheduler::get()` / `worker_pool::get()` shims are
+// gone; explicit pools and the free functions are the whole surface.)
+TEST(JobGateway, DefaultPoolAndStandalonePoolsAreSeparateDomains) {
+  EXPECT_EQ(num_workers(), worker_pool::default_pool().num_workers());
   worker_pool pool(3);
   EXPECT_EQ(pool.num_workers(), 3);
   EXPECT_FALSE(pool.contains_current_thread());

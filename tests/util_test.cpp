@@ -162,6 +162,76 @@ TEST(EnvInt, EdgeCases) {
   unsetenv("PARSEMI_TEST_ENV");
 }
 
+TEST(ParseByteSize, PlainBytesAndSuffixes) {
+  EXPECT_EQ(parse_byte_size("0"), std::optional<uint64_t>(0));
+  EXPECT_EQ(parse_byte_size("16384"), std::optional<uint64_t>(16384));
+  EXPECT_EQ(parse_byte_size("64k"), std::optional<uint64_t>(64ull << 10));
+  EXPECT_EQ(parse_byte_size("64K"), std::optional<uint64_t>(64ull << 10));
+  EXPECT_EQ(parse_byte_size("512M"), std::optional<uint64_t>(512ull << 20));
+  EXPECT_EQ(parse_byte_size("2G"), std::optional<uint64_t>(2ull << 30));
+  EXPECT_EQ(parse_byte_size("2g"), std::optional<uint64_t>(2ull << 30));
+  EXPECT_EQ(parse_byte_size("1T"), std::optional<uint64_t>(1ull << 40));
+  // Optional trailing B after a suffix: "64KB" == "64K".
+  EXPECT_EQ(parse_byte_size("64KB"), std::optional<uint64_t>(64ull << 10));
+  EXPECT_EQ(parse_byte_size("2gb"), std::optional<uint64_t>(2ull << 30));
+}
+
+TEST(ParseByteSize, RejectsGarbage) {
+  EXPECT_EQ(parse_byte_size(nullptr), std::nullopt);
+  EXPECT_EQ(parse_byte_size(""), std::nullopt);
+  EXPECT_EQ(parse_byte_size("-5"), std::nullopt);   // no signs
+  EXPECT_EQ(parse_byte_size("+5"), std::nullopt);
+  EXPECT_EQ(parse_byte_size(" 5"), std::nullopt);   // no whitespace
+  EXPECT_EQ(parse_byte_size("5 "), std::nullopt);
+  EXPECT_EQ(parse_byte_size("M"), std::nullopt);    // suffix needs digits
+  EXPECT_EQ(parse_byte_size("abc"), std::nullopt);
+  EXPECT_EQ(parse_byte_size("12X"), std::nullopt);  // unknown suffix
+  EXPECT_EQ(parse_byte_size("12MB3"), std::nullopt);
+  EXPECT_EQ(parse_byte_size("1.5G"), std::nullopt);  // no fractions
+  EXPECT_EQ(parse_byte_size("5B"), std::nullopt);  // bare B only after K/M/G/T
+}
+
+TEST(ParseByteSize, OverflowYieldsNullopt) {
+  // Fits in uint64 exactly at the boundary.
+  EXPECT_EQ(parse_byte_size("18446744073709551615"),
+            std::optional<uint64_t>(UINT64_MAX));
+  EXPECT_EQ(parse_byte_size("18446744073709551616"), std::nullopt);
+  // The digits fit but the shift overflows.
+  EXPECT_EQ(parse_byte_size("999999999999T"), std::nullopt);
+  EXPECT_EQ(parse_byte_size("16777216T"), std::nullopt);  // 2^24 * 2^40 = 2^64
+  EXPECT_EQ(parse_byte_size("16777215T"),
+            std::optional<uint64_t>(16777215ull << 40));
+}
+
+TEST(EnvByteSize, ReadsEnvironment) {
+  setenv("PARSEMI_TEST_ENV", "512M", 1);
+  EXPECT_EQ(env_byte_size("PARSEMI_TEST_ENV"),
+            std::optional<uint64_t>(512ull << 20));
+  setenv("PARSEMI_TEST_ENV", "nope", 1);
+  EXPECT_EQ(env_byte_size("PARSEMI_TEST_ENV"), std::nullopt);
+  setenv("PARSEMI_TEST_ENV", "", 1);
+  EXPECT_EQ(env_byte_size("PARSEMI_TEST_ENV"), std::nullopt);
+  unsetenv("PARSEMI_TEST_ENV");
+  EXPECT_EQ(env_byte_size("PARSEMI_TEST_ENV"), std::nullopt);
+}
+
+TEST(ArgParser, ByteSizeValues) {
+  const char* argv[] = {"prog", "--memory-budget", "2G", "--cap=64KB"};
+  arg_parser args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_bytes("memory-budget", 0), 2ull << 30);
+  EXPECT_EQ(args.get_bytes("cap", 0), 64ull << 10);
+  EXPECT_EQ(args.get_bytes("missing", 123), 123u);
+}
+
+TEST(ArgParserDeath, GarbageByteSizeExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--memory-budget", "2.5G"};
+  arg_parser args(3, const_cast<char**>(argv));
+  EXPECT_EXIT(args.get_bytes("memory-budget", 0),
+              ::testing::ExitedWithCode(2),
+              "invalid value for --memory-budget");
+}
+
 TEST(ArgParser, FlagFollowedByFlagIsBooleanSwitch) {
   const char* argv[] = {"prog", "--csv", "--n", "5"};
   arg_parser args(4, const_cast<char**>(argv));

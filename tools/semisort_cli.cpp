@@ -81,17 +81,20 @@ int mode_sort(const arg_parser& args) {
   semisort_stats stats;
   semisort_params params;
   params.stats = &stats;
+  // --memory-budget 256M (or PARSEMI_MEMORY_BUDGET) makes the run shard
+  // out of core when the footprint exceeds the budget; 0 = env/unlimited.
+  params.memory_budget_bytes = args.get_bytes("memory-budget", 0);
   auto grouped = semisort_hashed(std::span<const record>(records),
                                  record_key{}, params);
   double elapsed = t.elapsed();
   write_records(out, grouped);
   std::printf(
       "semisorted %zu records in %.3fs (%.1f Mrec/s); %zu heavy keys, "
-      "%.1f%% heavy records, %.2f slots/record → %s\n",
+      "%.1f%% heavy records, %.2f slots/record, shards=%zu → %s\n",
       records.size(), elapsed,
       static_cast<double>(records.size()) / elapsed / 1e6,
       stats.num_heavy_keys, 100.0 * stats.heavy_fraction(),
-      stats.slots_per_record(), out.c_str());
+      stats.slots_per_record(), stats.shards, out.c_str());
   return 0;
 }
 
