@@ -25,6 +25,7 @@
 #include "sort/sample_sort.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "workloads/distributions.h"
@@ -310,6 +311,18 @@ class bench_json {
         counting.field("passes", s.counting_passes);
       }
       field_object("counting", counting);
+      // Per-phase SIMD engagement (width contract in core/params.h) plus
+      // the build's compile-time tier, so a sidecar records which kernels
+      // the binary could and did run. Always emitted — the forced-scalar
+      // baseline is distinguishable by width_bits == 64.
+      row simd_obj;
+      simd_obj.field("width_bits", simd::kWidthBits);
+      simd_obj.field("isa", std::string(simd::isa_name()));
+      simd_obj.field("hash", s.simd_hash_width);
+      simd_obj.field("scatter", s.simd_scatter_width);
+      simd_obj.field("local_sort", s.simd_local_sort_width);
+      simd_obj.field("pack", s.simd_pack_width);
+      field_object("simd", simd_obj);
       return *this;
     }
 

@@ -29,6 +29,15 @@ sidecar's "bench" field:
     least one budgeted row with shards > 1 — the gate the 10^9-record
     reproduction point runs under.
 
+  table2_breakdown / table3_breakdown: every row carries positive per-phase
+    times that sum to the total, both seq and par modes, and a well-formed
+    simd{} object (per-phase kernel widths). With --baseline OTHER.json the
+    check becomes the per-phase perf gate: on matching (distribution, n,
+    mode=par) rows, no phase may regress more than --max-phase-regress over
+    the baseline, and at least --require-wins of the hot phases {scatter,
+    local sort, pack} must be strictly faster — how the SIMD build is held
+    to beating the forced-scalar build without robbing another phase.
+
 The sidecar is parsed with the standard json module, so this doubles as a
 strict validity check on the bench JSON writer (escaping, empty metric
 maps, non-finite floats).
@@ -312,7 +321,166 @@ def check_size_scaling(doc, require_sharded=False):
     return ok
 
 
-def check(doc, require_sharded=False):
+BREAKDOWN_HOT_PHASES = ("scatter", "local sort", "pack")
+VALID_SIMD_WIDTHS = {0, 64, 128, 256}
+
+
+def _breakdown_phases(row):
+    """The per-phase times of one breakdown row, keyed by phase name (the
+    JSON keys embed the human-readable name: "phase_local sort_s")."""
+    return {k[len("phase_"):-len("_s")]: v for k, v in row.items()
+            if k.startswith("phase_") and k.endswith("_s")}
+
+
+def check_breakdown(doc, baseline=None, max_phase_regress=0.05,
+                    require_wins=2, min_phase_s=0.005):
+    """The phase-breakdown invariants. Structurally: every row carries a
+    positive total, per-phase times that are non-negative and sum to the
+    total (phase_timer::total() is defined as that sum), a well-formed
+    simd{} object, and each (distribution, n) appears in both seq and par
+    mode. With a baseline doc the check becomes the per-phase perf gate:
+    phase times are summed over the matching par rows, no phase may be more
+    than max_phase_regress slower than the baseline, and at least
+    require_wins of the hot phases (scatter / local sort / pack) must be
+    strictly faster. Phases whose baseline time is below min_phase_s are
+    too short to time reliably and are excluded from both counts."""
+    rows = doc.get("rows", [])
+    if not rows:
+        print("FAIL: sidecar has no rows", file=sys.stderr)
+        return False
+    ok = True
+    modes_seen = {}
+    for row in rows:
+        for key in ("distribution", "n", "threads", "mode", "total_s",
+                    "simd"):
+            if key not in row:
+                print(f"FAIL: row missing '{key}': {row}", file=sys.stderr)
+                return False
+        label = f"{row['distribution']} n={row['n']} {row['mode']}"
+        if row["mode"] not in ("seq", "par"):
+            print(f"FAIL: {label}: unknown mode", file=sys.stderr)
+            ok = False
+            continue
+        total = row["total_s"]
+        if not (isinstance(total, (int, float)) and total is not True
+                and total > 0):
+            print(f"FAIL: {label}: total_s = {total!r} is not a positive "
+                  f"time", file=sys.stderr)
+            ok = False
+            continue
+        phases = _breakdown_phases(row)
+        if not phases:
+            print(f"FAIL: {label}: no phase_*_s fields", file=sys.stderr)
+            ok = False
+            continue
+        bad = {p: t for p, t in phases.items()
+               if not (isinstance(t, (int, float)) and t is not True
+                       and t >= 0)}
+        if bad:
+            print(f"FAIL: {label}: non-numeric or negative phase times "
+                  f"{bad}", file=sys.stderr)
+            ok = False
+            continue
+        psum = sum(phases.values())
+        if abs(psum - total) > max(1e-4 * total, 1e-6):
+            print(f"FAIL: {label}: phases sum to {psum:.6f}s but total_s is "
+                  f"{total:.6f}s — a phase was dropped or double-counted",
+                  file=sys.stderr)
+            ok = False
+        simd = row["simd"]
+        if not isinstance(simd, dict):
+            print(f"FAIL: {label}: simd sidecar missing or not an object",
+                  file=sys.stderr)
+            ok = False
+            continue
+        width = simd.get("width_bits")
+        if width not in (64, 128, 256):
+            print(f"FAIL: {label}: simd.width_bits = {width!r} is not a "
+                  f"known tier width", file=sys.stderr)
+            ok = False
+        if not (isinstance(simd.get("isa"), str) and simd["isa"]):
+            print(f"FAIL: {label}: simd.isa missing or empty",
+                  file=sys.stderr)
+            ok = False
+        for field in ("hash", "scatter", "local_sort", "pack"):
+            w = simd.get(field)
+            if w not in VALID_SIMD_WIDTHS:
+                print(f"FAIL: {label}: simd.{field} = {w!r} is not a valid "
+                      f"per-phase width", file=sys.stderr)
+                ok = False
+            elif isinstance(width, int) and w > width:
+                print(f"FAIL: {label}: simd.{field} = {w} exceeds the "
+                      f"build's width_bits = {width}", file=sys.stderr)
+                ok = False
+        modes_seen.setdefault((row["distribution"], row["n"]),
+                              set()).add(row["mode"])
+    for (dist, n), modes in sorted(modes_seen.items()):
+        missing = {"seq", "par"} - modes
+        if missing:
+            print(f"FAIL: {dist} n={n}: modes never ran: {sorted(missing)}",
+                  file=sys.stderr)
+            ok = False
+    if ok:
+        print(f"ok: {len(rows)} breakdown rows well-formed "
+              f"(isa {rows[0]['simd'].get('isa')}, "
+              f"width {rows[0]['simd'].get('width_bits')})")
+    if baseline is None or not ok:
+        return ok
+
+    def par_keys(d):
+        return {(r.get("distribution"), r.get("n"))
+                for r in d.get("rows", []) if r.get("mode") == "par"}
+
+    matched = par_keys(doc) & par_keys(baseline)
+    if not matched:
+        print("FAIL: baseline shares no (distribution, n) par rows with the "
+              "candidate — nothing to gate on", file=sys.stderr)
+        return False
+
+    def phase_sums(d):
+        sums = {}
+        for r in d.get("rows", []):
+            if (r.get("mode") == "par"
+                    and (r.get("distribution"), r.get("n")) in matched):
+                for ph, t in _breakdown_phases(r).items():
+                    sums[ph] = sums.get(ph, 0.0) + t
+        return sums
+
+    cand, base = phase_sums(doc), phase_sums(baseline)
+    if set(cand) != set(base):
+        print(f"FAIL: phase sets differ: candidate {sorted(cand)} vs "
+              f"baseline {sorted(base)}", file=sys.stderr)
+        return False
+    wins = 0
+    for ph in sorted(cand):
+        c, b = cand[ph], base[ph]
+        if b < min_phase_s:
+            print(f"  {ph}: baseline {b:.4f}s below --min-phase-s, skipped")
+            continue
+        note = ""
+        if c > b * (1 + max_phase_regress):
+            print(f"FAIL: phase '{ph}' regressed: {c:.4f}s vs baseline "
+                  f"{b:.4f}s (> {100 * max_phase_regress:.0f}% slower)",
+                  file=sys.stderr)
+            ok = False
+        if ph in BREAKDOWN_HOT_PHASES and c < b:
+            wins += 1
+            note = "  (win)"
+        print(f"  {ph}: {c:.4f}s vs baseline {b:.4f}s "
+              f"({c / b:.2f}x){note}")
+    if wins < require_wins:
+        print(f"FAIL: only {wins} of the hot phases "
+              f"{list(BREAKDOWN_HOT_PHASES)} beat the baseline "
+              f"(need {require_wins})", file=sys.stderr)
+        ok = False
+    if ok:
+        print(f"ok: {wins} hot-phase wins over the baseline, no phase "
+              f"regressed more than {100 * max_phase_regress:.0f}%")
+    return ok
+
+
+def check(doc, require_sharded=False, baseline=None, max_phase_regress=0.05,
+          require_wins=2, min_phase_s=0.005):
     """Dispatch on the sidecar's bench name. Sidecars without a "bench"
     field (or from the scatter ablation) get the scatter-path check — the
     historical behaviour this module's unit tests pin down."""
@@ -322,6 +490,11 @@ def check(doc, require_sharded=False):
         return check_dispatch(doc)
     if doc.get("bench") == "table4_size_scaling":
         return check_size_scaling(doc, require_sharded)
+    if doc.get("bench") in ("table2_breakdown", "table3_breakdown"):
+        return check_breakdown(doc, baseline=baseline,
+                               max_phase_regress=max_phase_regress,
+                               require_wins=require_wins,
+                               min_phase_s=min_phase_s)
     return check_scatter_paths(doc)
 
 
@@ -334,6 +507,18 @@ def main():
     ap.add_argument("--require-sharded", action="store_true",
                     help="table4_size_scaling only: fail unless at least "
                          "one row ran with shards > 1")
+    ap.add_argument("--baseline",
+                    help="breakdown benches only: sidecar to gate against "
+                         "(e.g. a forced-scalar build's table2_breakdown)")
+    ap.add_argument("--max-phase-regress", type=float, default=0.05,
+                    help="breakdown gate: max fractional slowdown allowed "
+                         "on any phase vs the baseline (default 0.05)")
+    ap.add_argument("--require-wins", type=int, default=2,
+                    help="breakdown gate: hot phases (scatter / local sort "
+                         "/ pack) that must beat the baseline (default 2)")
+    ap.add_argument("--min-phase-s", type=float, default=0.005,
+                    help="breakdown gate: baseline phases shorter than this "
+                         "are too noisy to gate on (default 0.005)")
     ap.add_argument("extra", nargs="*",
                     help="extra args forwarded to the bench binary")
     args = ap.parse_args()
@@ -346,7 +531,16 @@ def main():
     else:
         ap.error("one of --bench or --json is required")
 
-    if not check(doc, require_sharded=args.require_sharded):
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = load_sidecar_text(f.read())
+
+    if not check(doc, require_sharded=args.require_sharded,
+                 baseline=baseline,
+                 max_phase_regress=args.max_phase_regress,
+                 require_wins=args.require_wins,
+                 min_phase_s=args.min_phase_s):
         sys.exit(1)
     print("all checks passed")
 

@@ -36,10 +36,37 @@ run seq_baselines "$@"
 run rr_comparison "$@"
 run optimized_radix "$@"
 run ablation_scatter_paths "$@"
+run ablation_dispatch "$@"
 
 for ab in ablation_params ablation_probing ablation_estimator ablation_primitives; do
   echo "=== $ab ==="
   "$BUILD/bench/$ab" --benchmark_min_time=0.2 > "$OUT/$ab.txt" 2>&1
   echo "    -> $OUT/$ab.txt"
 done
+
+# Per-phase SIMD perf gate: rerun table2_breakdown out of a forced-scalar
+# tree (BUILD_SCALAR, configured with -DPARSEMI_SIMD=OFF) and require the
+# SIMD build to beat it on >= 2 of the hot phases {scatter, local sort,
+# pack} with no phase more than 5% slower (scripts/bench_compare.py
+# check_breakdown). Skipped with a note when the scalar tree is absent.
+BUILD_SCALAR=${BUILD_SCALAR:-build-scalar}
+if [ -x "$BUILD_SCALAR/bench/table2_breakdown" ]; then
+  echo "=== simd-vs-scalar breakdown gate ==="
+  root=$(pwd)
+  gate_dir=$(mktemp -d)
+  (cd "$gate_dir" && "$root/$BUILD/bench/table2_breakdown" "$@" \
+      > simd_breakdown.txt)
+  mv "$gate_dir/BENCH_table2_breakdown.json" "$OUT/table2_breakdown_simd.json"
+  (cd "$gate_dir" && "$root/$BUILD_SCALAR/bench/table2_breakdown" "$@" \
+      > scalar_breakdown.txt)
+  mv "$gate_dir/BENCH_table2_breakdown.json" \
+     "$OUT/table2_breakdown_scalar.json"
+  rm -rf "$gate_dir"
+  python3 scripts/bench_compare.py --json "$OUT/table2_breakdown_simd.json" \
+    --baseline "$OUT/table2_breakdown_scalar.json" || exit 1
+  echo "    -> breakdown gate passed"
+else
+  echo "note: $BUILD_SCALAR/bench/table2_breakdown not built; skipping the"
+  echo "      simd-vs-scalar gate (cmake -B $BUILD_SCALAR -DPARSEMI_SIMD=OFF ...)"
+fi
 echo "all benches complete"

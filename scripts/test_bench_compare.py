@@ -476,6 +476,289 @@ class CheckSizeScaling(unittest.TestCase):
         self.assertTrue(ok, err)
 
 
+BREAKDOWN_PHASE_TIMES = {
+    "sample and sort": 0.08,
+    "construct buckets": 0.03,
+    "scatter": 0.40,
+    "local sort": 0.25,
+    "pack": 0.12,
+}
+
+
+def make_simd_obj(width=256, isa="avx2"):
+    return {"width_bits": width, "isa": isa, "hash": width, "scatter": width,
+            "local_sort": width, "pack": width}
+
+
+def make_breakdown_row(dist="uniform", n=10000000, mode="par", threads=None,
+                       phases=None, simd=None):
+    phases = dict(BREAKDOWN_PHASE_TIMES if phases is None else phases)
+    row = {
+        "distribution": dist,
+        "n": n,
+        "threads": threads if threads is not None
+            else (1 if mode == "seq" else 4),
+        "mode": mode,
+        "total_s": sum(phases.values()),
+    }
+    for ph, t in phases.items():
+        row[f"phase_{ph}_s"] = t
+    row["simd"] = make_simd_obj() if simd is None else simd
+    return row
+
+
+def make_breakdown_doc(bench="table2_breakdown", dists=("uniform",),
+                       scale=1.0, hot_scale=1.0, simd=None):
+    """Both modes per distribution; hot_scale additionally multiplies the
+    hot phases (scatter / local sort / pack) so tests can build a baseline
+    the candidate beats (hot_scale > 1) or loses to (hot_scale < 1)."""
+    rows = []
+    for d in dists:
+        for mode in ("seq", "par"):
+            mode_scale = scale * (3.0 if mode == "seq" else 1.0)
+            phases = {
+                p: t * mode_scale *
+                   (hot_scale if p in bench_compare.BREAKDOWN_HOT_PHASES
+                    else 1.0)
+                for p, t in BREAKDOWN_PHASE_TIMES.items()
+            }
+            rows.append(make_breakdown_row(dist=d, mode=mode, phases=phases,
+                                           simd=copy.deepcopy(simd)))
+    return {"bench": bench, "rows": rows}
+
+
+def run_breakdown_check(doc, **kwargs):
+    err = io.StringIO()
+    with redirect_stdout(io.StringIO()), redirect_stderr(err):
+        ok = bench_compare.check(doc, **kwargs)
+    return ok, err.getvalue()
+
+
+class CheckBreakdown(unittest.TestCase):
+    """check() dispatches on doc["bench"]: breakdown sidecars get the
+    structural phase/simd{} validation, and — with a baseline — the
+    per-phase perf gate (no regression, hot-phase wins)."""
+
+    def test_well_formed_doc_passes(self):
+        ok, err = run_breakdown_check(make_breakdown_doc())
+        self.assertTrue(ok, err)
+
+    def test_dispatch_goes_to_breakdown_check(self):
+        # A breakdown doc has no scatter_path/checksum keys; if check()
+        # regressed to the scatter gate this would fail on missing keys.
+        for bench in ("table2_breakdown", "table3_breakdown"):
+            ok, err = run_breakdown_check(make_breakdown_doc(bench=bench))
+            self.assertTrue(ok, f"{bench}: {err}")
+
+    def test_empty_doc_fails(self):
+        ok, err = run_breakdown_check({"bench": "table2_breakdown",
+                                       "rows": []})
+        self.assertFalse(ok)
+        self.assertIn("no rows", err)
+
+    def test_row_missing_key_fails(self):
+        for key in ("distribution", "n", "threads", "mode", "total_s",
+                    "simd"):
+            doc = make_breakdown_doc()
+            del doc["rows"][0][key]
+            ok, err = run_breakdown_check(doc)
+            self.assertFalse(ok, key)
+            self.assertIn(key, err)
+
+    def test_unknown_mode_fails(self):
+        doc = make_breakdown_doc()
+        doc["rows"][0]["mode"] = "warp"
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("mode", err)
+
+    def test_nonpositive_total_fails(self):
+        doc = make_breakdown_doc()
+        doc["rows"][0]["total_s"] = 0
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("total_s", err)
+
+    def test_row_without_phase_fields_fails(self):
+        doc = make_breakdown_doc()
+        doc["rows"][0] = {k: v for k, v in doc["rows"][0].items()
+                          if not k.startswith("phase_")}
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("phase_", err)
+
+    def test_negative_phase_time_fails(self):
+        doc = make_breakdown_doc()
+        doc["rows"][0]["phase_scatter_s"] = -0.1
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("negative", err)
+
+    def test_phases_not_summing_to_total_fails(self):
+        # phase_timer::total() is the sum of phases; a mismatch means the
+        # writer dropped or double-counted a phase.
+        doc = make_breakdown_doc()
+        doc["rows"][0]["total_s"] *= 2
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("sum", err)
+
+    def test_missing_mode_fails(self):
+        doc = make_breakdown_doc()
+        doc["rows"] = [r for r in doc["rows"] if r["mode"] != "par"]
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("par", err)
+
+    def test_forced_scalar_widths_pass(self):
+        # width_bits == 64 is the forced-scalar/reference tier — valid.
+        doc = make_breakdown_doc(simd=make_simd_obj(width=64, isa="scalar"))
+        ok, err = run_breakdown_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_zero_phase_width_passes(self):
+        # 0 = "this input never ran an accelerated kernel" (e.g. the
+        # blocked scatter path) — valid per the width contract.
+        simd = make_simd_obj()
+        simd["scatter"] = 0
+        doc = make_breakdown_doc(simd=simd)
+        ok, err = run_breakdown_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_unknown_tier_width_fails(self):
+        doc = make_breakdown_doc(simd=make_simd_obj(width=32))
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("width_bits", err)
+
+    def test_empty_isa_fails(self):
+        doc = make_breakdown_doc(simd=make_simd_obj(isa=""))
+        ok, err = run_breakdown_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("isa", err)
+
+    def test_invalid_phase_width_fails(self):
+        simd = make_simd_obj()
+        simd["local_sort"] = 42
+        ok, err = run_breakdown_check(make_breakdown_doc(simd=simd))
+        self.assertFalse(ok)
+        self.assertIn("local_sort", err)
+
+    def test_phase_width_exceeding_build_width_fails(self):
+        # A 64-bit (scalar) build reporting a 256-bit scatter kernel is a
+        # stats-plumbing bug, not a wider machine.
+        simd = make_simd_obj(width=64, isa="scalar")
+        simd["scatter"] = 256
+        ok, err = run_breakdown_check(make_breakdown_doc(simd=simd))
+        self.assertFalse(ok)
+        self.assertIn("exceeds", err)
+
+    def test_gate_passes_when_hot_phases_win(self):
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc(hot_scale=1.3,
+                                  simd=make_simd_obj(width=64, isa="scalar"))
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertTrue(ok, err)
+
+    def test_gate_fails_without_enough_wins(self):
+        # Identical timings: zero strict wins < require_wins.
+        ok, err = run_breakdown_check(make_breakdown_doc(),
+                                      baseline=make_breakdown_doc())
+        self.assertFalse(ok)
+        self.assertIn("hot phases", err)
+
+    def test_gate_fails_on_phase_regression(self):
+        # Hot phases win, but "sample and sort" got 20% slower — the SIMD
+        # build must not rob one phase to pay another.
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc(hot_scale=1.3)
+        for row in cand["rows"]:
+            row["phase_sample and sort_s"] *= 1.2
+            row["total_s"] = sum(v for k, v in row.items()
+                                 if k.startswith("phase_"))
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertFalse(ok)
+        self.assertIn("regressed", err)
+
+    def test_gate_tolerates_small_regressions(self):
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc(hot_scale=1.3)
+        for row in cand["rows"]:
+            row["phase_sample and sort_s"] *= 1.03  # under the 5% default
+            row["total_s"] = sum(v for k, v in row.items()
+                                 if k.startswith("phase_"))
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertTrue(ok, err)
+
+    def test_gate_skips_sub_resolution_phases(self):
+        # A 10x regression on a phase whose baseline is below min_phase_s
+        # is timer noise, not a finding.
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc(hot_scale=1.3)
+        for row in base["rows"]:
+            row["phase_construct buckets_s"] = 0.001
+            row["total_s"] = sum(v for k, v in row.items()
+                                 if k.startswith("phase_"))
+        for row in cand["rows"]:
+            row["phase_construct buckets_s"] = 0.01
+            row["total_s"] = sum(v for k, v in row.items()
+                                 if k.startswith("phase_"))
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertTrue(ok, err)
+
+    def test_gate_fails_on_disjoint_row_sets(self):
+        cand = make_breakdown_doc(dists=("uniform",))
+        base = make_breakdown_doc(dists=("zipf",), hot_scale=1.3)
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertFalse(ok)
+        self.assertIn("nothing to gate on", err)
+
+    def test_gate_fails_on_differing_phase_sets(self):
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc(hot_scale=1.3)
+        for row in base["rows"]:
+            t = row.pop("phase_pack_s")
+            row["phase_unpack_s"] = t
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertFalse(ok)
+        self.assertIn("phase sets differ", err)
+
+    def test_gate_ignores_seq_rows(self):
+        # seq rows regress badly, but the gate reads par rows only (the
+        # configuration the paper's tables measure).
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc(hot_scale=1.3)
+        for row in cand["rows"]:
+            if row["mode"] == "seq":
+                for k in list(row):
+                    if k.startswith("phase_"):
+                        row[k] *= 10
+                row["total_s"] = sum(v for k, v in row.items()
+                                     if k.startswith("phase_"))
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertTrue(ok, err)
+
+    def test_structural_failure_blocks_the_gate(self):
+        cand = make_breakdown_doc()
+        del cand["rows"][0]["simd"]
+        base = make_breakdown_doc(hot_scale=1.3)
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertFalse(ok)
+
+    def test_require_wins_is_tunable(self):
+        # Only scatter wins; require_wins=1 passes, the default 2 fails.
+        cand = make_breakdown_doc()
+        base = make_breakdown_doc()
+        for row in base["rows"]:
+            row["phase_scatter_s"] *= 1.04
+            row["total_s"] = sum(v for k, v in row.items()
+                                 if k.startswith("phase_"))
+        ok, err = run_breakdown_check(cand, baseline=base, require_wins=1)
+        self.assertTrue(ok, err)
+        ok, err = run_breakdown_check(cand, baseline=base)
+        self.assertFalse(ok)
+
+
 class CliJsonStrictness(unittest.TestCase):
     """End-to-end over the CLI: --json files with hostile content."""
 
@@ -520,6 +803,31 @@ class CliJsonStrictness(unittest.TestCase):
         res = self.run_cli(json.dumps(doc), "--require-sharded")
         self.assertEqual(res.returncode, 1, res.stderr)
         self.assertIn("out of core", res.stderr)
+
+    def test_baseline_flag_reaches_the_breakdown_gate(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write(json.dumps(make_breakdown_doc()))  # ties: zero wins
+            base_path = f.name
+        try:
+            res = self.run_cli(json.dumps(make_breakdown_doc()),
+                               "--baseline", base_path)
+            self.assertEqual(res.returncode, 1, res.stderr)
+            self.assertIn("hot phases", res.stderr)
+        finally:
+            os.unlink(base_path)
+
+    def test_breakdown_gate_passes_over_a_slower_baseline(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write(json.dumps(make_breakdown_doc(hot_scale=1.3)))
+            base_path = f.name
+        try:
+            res = self.run_cli(json.dumps(make_breakdown_doc()),
+                               "--baseline", base_path)
+            self.assertEqual(res.returncode, 0, res.stderr)
+        finally:
+            os.unlink(base_path)
 
 
 class NonFiniteParse(unittest.TestCase):

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <span>
 
 #include "core/bucket_plan.h"
@@ -25,6 +26,7 @@
 #include "core/scatter.h"
 #include "primitives/scan.h"
 #include "scheduler/scheduler.h"
+#include "util/simd.h"
 
 namespace parsemi {
 
@@ -52,10 +54,41 @@ size_t pack_output(scatter_storage<Record>& storage, const bucket_plan& plan,
         [&](size_t t) {
           size_t lo = interval_start[t], hi = interval_start[t + 1];
           size_t w = lo;
-          for (size_t r = lo; r < hi; ++r) {
-            if (storage.occupied(r)) {
-              if (w != r) storage.slots[w] = storage.slots[r];
-              ++w;
+          if constexpr (std::is_trivially_copyable_v<Record> &&
+                        scatter_storage<Record>::kKeyCas && simd::kEnabled) {
+            // Run-based compaction: run boundaries are found 4 slots per
+            // step by the sentinel-scan kernels and each occupied run
+            // moves with one memmove — the leading dense prefix (w == r)
+            // moves nothing at all. The buffered/blocked paths fill each
+            // bucket front-to-back, so a bucket contributes one occupied
+            // and one hole run and the sweep is a handful of bulk moves;
+            // the CAS path's random holes just make the runs short (still
+            // correct, the scans simply alternate faster). w ≤ r
+            // throughout; only the compacted prefix is copied out below,
+            // so the stale tail is never read.
+            size_t r = lo;
+            while (r < hi) {
+              size_t occ = simd::occupied_prefix_len<sizeof(Record)>(
+                  storage.slots.data() + r, hi - r, storage.sentinel);
+              if (w != r && occ > 0) {
+                // Runs may overlap their destination (w < r): memmove, not
+                // the pack copy kernel's memcpy.
+                std::memmove(
+                    static_cast<void*>(storage.slots.data() + w),
+                    static_cast<const void*>(storage.slots.data() + r),
+                    occ * sizeof(Record));
+              }
+              w += occ;
+              r += occ;
+              r += simd::hole_prefix_len<sizeof(Record)>(
+                  storage.slots.data() + r, hi - r, storage.sentinel);
+            }
+          } else {
+            for (size_t r = lo; r < hi; ++r) {
+              if (storage.occupied(r)) {
+                if (w != r) storage.slots[w] = storage.slots[r];
+                ++w;
+              }
             }
           }
           interval_count[t] = w - lo;
@@ -73,8 +106,10 @@ size_t pack_output(scatter_storage<Record>& storage, const bucket_plan& plan,
           size_t count = (t + 1 < num_intervals ? interval_count[t + 1]
                                                 : heavy_total) -
                          interval_count[t];
-          std::copy(storage.slots.data() + lo, storage.slots.data() + lo + count,
-                    out.data() + interval_count[t]);
+          // out never aliases the slot array, so the run moves with one
+          // widened memcpy instead of std::copy's memmove.
+          simd::copy_records(out.data() + interval_count[t],
+                             storage.slots.data() + lo, count);
         },
         1);
   }
@@ -96,9 +131,8 @@ size_t pack_output(scatter_storage<Record>& storage, const bucket_plan& plan,
       0, plan.num_light,
       [&](size_t j) {
         size_t lo = plan.bucket_offset[plan.num_heavy + j];
-        std::copy(storage.slots.data() + lo,
-                  storage.slots.data() + lo + light_counts[j],
-                  out.data() + light_out_offset[j]);
+        simd::copy_records(out.data() + light_out_offset[j],
+                           storage.slots.data() + lo, light_counts[j]);
       },
       1);
 

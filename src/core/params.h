@@ -153,6 +153,17 @@ struct semisort_stats {
   size_t spilled_bytes = 0;
   size_t shard_peak_scratch_bytes = 0;
 
+  // --- per-phase SIMD engagement (util/simd.h) ---
+  // Width in bits the phase's accelerated kernel ran at: 256/128 ⇒ a vector
+  // tier engaged, 64 ⇒ the scalar reference tier ran (forced-scalar build,
+  // non-x86, TSan, or a record stride without a vector kernel), 0 ⇒ the
+  // path taken by this run has no accelerated kernel in that phase (e.g.
+  // blocked scatter, flag-array CAS, non-trivially-copyable records).
+  size_t simd_hash_width = 0;        // batched sample-position + key hashing
+  size_t simd_scatter_width = 0;     // CAS probe prescan / buffered run scan
+  size_t simd_local_sort_width = 0;  // sorting networks on light buckets
+  size_t simd_pack_width = 0;        // widened record-run copies
+
   double heavy_fraction() const {
     return n == 0 ? 0.0 : static_cast<double>(heavy_records) / static_cast<double>(n);
   }

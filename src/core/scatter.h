@@ -58,6 +58,7 @@
 #include "scheduler/scheduler.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace parsemi {
 
@@ -267,6 +268,43 @@ scatter_result scatter_records(std::span<const Record> in,
         }
       }
       overflow.store(true, std::memory_order_relaxed);
+    } else if constexpr (scatter_storage<Record>::kKeyCas && simd::kEnabled &&
+                         !simd::kTsan) {
+      // §4's linear probing, prescanned 4 slots per step: compare 4 key
+      // words against the empty sentinel (one vector compare for 16-byte
+      // records, 4 independent scalar loads otherwise) and CAS only lanes
+      // that looked empty, first hit by ctz. The prescan is advisory — a
+      // stale lane just fails its CAS and the scan moves on — and slots
+      // never revert to empty, so skipping non-sentinel lanes is safe.
+      // (try_claim's CAS remains the sole authority; TSan builds keep the
+      // plain-load prescan compiled out so the race checker stays precise.)
+      size_t pos = base.ith_below(i, cap);
+      size_t t = 0;
+      while (t < cap) {
+        if (pos + 4 <= cap) {
+          unsigned mask = simd::match_key4<sizeof(Record)>(
+              &storage.slots[off + pos], storage.sentinel);
+          while (mask != 0) {
+            unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+            if (storage.try_claim(off + pos + lane, rec)) {
+              if (probe != nullptr) probe->note(t + lane);
+              return;
+            }
+            mask &= mask - 1;
+          }
+          t += 4;
+          pos += 4;
+          if (pos == cap) pos = 0;
+        } else {
+          if (storage.try_claim(off + pos, rec)) {
+            if (probe != nullptr) probe->note(t);
+            return;
+          }
+          ++t;
+          if (++pos == cap) pos = 0;
+        }
+      }
+      overflow.store(true, std::memory_order_relaxed);
     } else {
       // §4's practical placement: one random start, then linear probing —
       // collisions land on the same cache line.
@@ -372,8 +410,9 @@ scatter_result scatter_buffered(std::span<const Record> in,
     uint32_t* ids = staged + lg * cap;
     size_t claims = 0;
     for (uint32_t i = 0; i < count;) {
-      uint32_t j = i + 1;
-      while (j < count && ids[j] == ids[i]) ++j;
+      // Run detection is the flush's inner loop; simd::run_len_u32 compares
+      // 8 (AVX2) / 4 (SSE2) staged ids per step instead of one.
+      uint32_t j = i + simd::run_len_u32(ids + i, count - i);
       size_t b = ids[i];
       size_t len = j - i;
       // Relaxed RMW per run, not per record: the sort above coalesces same-

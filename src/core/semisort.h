@@ -36,6 +36,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -59,6 +60,7 @@
 #include "sort/radix_sort.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "workloads/record.h"
 
 namespace parsemi {
@@ -208,7 +210,13 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
   // Phase 4 — local sort.
   std::span<size_t> light_counts(ctx.scratch.alloc<size_t>(plan.num_light),
                                  plan.num_light);
-  local_sort_light_buckets(storage, plan, get_key, params, light_counts);
+  std::atomic<bool> local_kernel_used{false};
+  // The buffered and blocked paths fill each bucket front-to-back, so the
+  // local sort can treat occupancy as a prefix and skip the hole sweep.
+  local_sort_light_buckets(
+      storage, plan, get_key, params, light_counts,
+      params.stats != nullptr ? &local_kernel_used : nullptr,
+      /*dense_storage=*/path != scatter_path::cas);
   if (pt != nullptr) pt->record("local sort");
 
   // Stats are gathered before the pack so that `out` may alias `in`
@@ -259,6 +267,31 @@ bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
         st.scatter_atomics_saved = n;  // placement issued no atomics
         break;
     }
+    // Per-phase SIMD engagement (width contract documented in params.h:
+    // 256/128 vector tier, 64 scalar tier, 0 no accelerated kernel on the
+    // path this run took).
+    st.simd_hash_width = sample.size() > 0 ? simd::kWidthBits : 0;
+    switch (path) {
+      case scatter_path::cas:
+        st.simd_scatter_width =
+            scatter_storage<Record>::kKeyCas
+                ? ((simd::kEnabled && !simd::kTsan)
+                       ? simd::probe_width<sizeof(Record)>()
+                       : 64)
+                : 0;
+        break;
+      case scatter_path::buffered:
+        st.simd_scatter_width = simd::kWidthBits;  // run_len_u32 flush scan
+        break;
+      case scatter_path::blocked:
+        st.simd_scatter_width = 0;  // two-pass counting: no scan kernel
+        break;
+    }
+    st.simd_local_sort_width =
+        local_kernel_used.load(std::memory_order_relaxed) ? simd::kWidthBits
+                                                          : 0;
+    st.simd_pack_width =
+        std::is_trivially_copyable_v<Record> ? simd::kWidthBits : 0;
   }
 
   // Phase 5 — pack.

@@ -47,6 +47,7 @@
 #include "scheduler/scheduler.h"
 #include "shard/shard_plan.h"
 #include "shard/spill_file.h"
+#include "util/simd.h"
 
 namespace parsemi {
 namespace internal {
@@ -83,6 +84,13 @@ inline void accumulate_shard_stats(semisort_stats& agg,
   agg.dispatch_path_used = s.dispatch_path_used;
   agg.key_domain_width = s.key_domain_width;
   agg.counting_passes = s.counting_passes;
+  // Per-phase SIMD engagement: max — "widest kernel any shard ran".
+  agg.simd_hash_width = std::max(agg.simd_hash_width, s.simd_hash_width);
+  agg.simd_scatter_width =
+      std::max(agg.simd_scatter_width, s.simd_scatter_width);
+  agg.simd_local_sort_width =
+      std::max(agg.simd_local_sort_width, s.simd_local_sort_width);
+  agg.simd_pack_width = std::max(agg.simd_pack_width, s.simd_pack_width);
 }
 
 template <typename Record, typename GetKey>
@@ -160,7 +168,23 @@ void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
       });
       parallel_for_blocks(n, block, [&](size_t b, size_t lo, size_t hi) {
         size_t* cursor = counts + b * S;
-        for (size_t i = lo; i < hi; ++i) part[cursor[shard_at(i)]++] = in[i];
+        if constexpr (simd::kEnabled) {
+          // Shard ids are independent (hash prefix of the key) — compute 4
+          // per round so their chains overlap; the dependent cursor bumps
+          // then retire back-to-back.
+          size_t i = lo;
+          for (; i + 4 <= hi; i += 4) {
+            size_t s0 = shard_at(i), s1 = shard_at(i + 1), s2 = shard_at(i + 2),
+                   s3 = shard_at(i + 3);
+            part[cursor[s0]++] = in[i];
+            part[cursor[s1]++] = in[i + 1];
+            part[cursor[s2]++] = in[i + 2];
+            part[cursor[s3]++] = in[i + 3];
+          }
+          for (; i < hi; ++i) part[cursor[shard_at(i)]++] = in[i];
+        } else {
+          for (size_t i = lo; i < hi; ++i) part[cursor[shard_at(i)]++] = in[i];
+        }
       });
     }
     if (pt != nullptr) pt->record("partition");

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -93,6 +94,70 @@ TEST(HashBytes, LengthMatters) {
 
 TEST(HashBytes, EmptyStringIsStable) {
   EXPECT_EQ(hash_string(""), hash_string(std::string_view{}));
+}
+
+TEST(Hash64, BatchMatchesScalarAtEveryCount) {
+  // The interleaved 4-wide mixer must be bit-exact with hash64 per lane —
+  // counts 0..17 walk every (full rounds, tail length) combination.
+  rng r(71);
+  for (size_t count = 0; count <= 17; ++count) {
+    std::vector<uint64_t> in(count), out(count, 0);
+    for (auto& x : in) x = r.next();
+    hash64_batch(in.data(), out.data(), count);
+    for (size_t i = 0; i < count; ++i)
+      ASSERT_EQ(out[i], hash64(in[i])) << "count " << count << " lane " << i;
+  }
+}
+
+TEST(Hash64, SeededBatchMatchesScalarAtEveryCount) {
+  rng r(73);
+  for (size_t count = 0; count <= 17; ++count) {
+    for (uint64_t seed : {uint64_t{1}, uint64_t{9}, r.next()}) {
+      std::vector<uint64_t> in(count), out(count, 0);
+      for (auto& x : in) x = r.next();
+      hash64_seeded_batch(in.data(), out.data(), count, seed);
+      for (size_t i = 0; i < count; ++i)
+        ASSERT_EQ(out[i], hash64_seeded(in[i], seed))
+            << "count " << count << " seed " << seed << " lane " << i;
+    }
+  }
+}
+
+TEST(HashBytes, WordChunkBoundaryLengthsAreDistinct) {
+  // Lengths straddling the 8-byte chunk loop and the masked tail read:
+  // 0 (no work), 7 (tail only), 8 (one chunk, empty tail), 9 (chunk +
+  // 1-byte tail), 63/64 (many chunks, full/empty tail). All must hash
+  // distinctly even over identical byte content.
+  std::string base(64, 'x');
+  std::unordered_set<uint64_t> seen;
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                     size_t{63}, size_t{64}}) {
+    ASSERT_TRUE(seen.insert(hash_bytes(base.data(), len)).second)
+        << "length " << len << " collided with a shorter prefix";
+  }
+}
+
+TEST(HashBytes, ZeroTailDoesNotAliasShorterBuffer) {
+  // The masked tail read zero-extends; the length folded into the initial
+  // state is what keeps "ab" distinct from "ab\0" (and every padded form).
+  std::string ab = "ab";
+  std::string padded("ab\0", 3);
+  std::string padded8("ab\0\0\0\0\0\0", 8);
+  EXPECT_NE(hash_bytes(ab.data(), ab.size()),
+            hash_bytes(padded.data(), padded.size()));
+  EXPECT_NE(hash_bytes(ab.data(), ab.size()),
+            hash_bytes(padded8.data(), padded8.size()));
+  EXPECT_NE(hash_bytes(padded.data(), padded.size()),
+            hash_bytes(padded8.data(), padded8.size()));
+}
+
+TEST(HashBytes, UnalignedReadsMatchAligned) {
+  // The chunk loop memcpys from arbitrary offsets; hashing the same bytes
+  // from a shifted buffer must give the same value.
+  std::string buf = "0123456789abcdefghijklmnopqrstuv";
+  std::string shifted = "!" + buf;
+  EXPECT_EQ(hash_bytes(buf.data(), buf.size()),
+            hash_bytes(shifted.data() + 1, buf.size()));
 }
 
 TEST(HashBytes, FewCollisionsOnWords) {

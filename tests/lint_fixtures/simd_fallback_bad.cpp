@@ -1,0 +1,33 @@
+// Fixture: intrinsic blocks that break the scalar-fallback contract. The
+// analyzer is lexical, so no vector headers are needed (and this file is
+// never compiled). Expected hard findings (simd-fallback): 3 —
+//   1. an #ifdef-guarded intrinsic block with no #else at all,
+//   2. a conditional whose every branch (including the #else) uses
+//      intrinsics, so no build tier gets scalar code,
+//   3. a naked intrinsic call outside any preprocessor guard.
+#include <cstdint>
+
+// (1) Guarded, but when __AVX2__ is absent this function body vanishes —
+// there is no scalar sibling.
+long long sum_no_else(long long x) {
+#ifdef __AVX2__
+  __m256i v = _mm256_set1_epi64x(x);
+  return _mm256_extract_epi64(_mm256_add_epi64(v, v), 0);
+#endif
+}
+
+// (2) Both branches vectorize; a forced-scalar build still hits intrinsics.
+long long sum_else_also_vector(long long x) {
+#if defined(__AVX2__)
+  __m256i v = _mm256_set1_epi64x(x);
+  return _mm256_extract_epi64(v, 0);
+#else
+  __m256i v = _mm256_set1_epi64x(x + 1);
+  return _mm256_extract_epi64(v, 0);
+#endif
+}
+
+// (3) No guard whatsoever.
+long long sum_naked(long long x) {
+  return _mm256_extract_epi64(_mm256_set1_epi64x(x), 0);
+}

@@ -1,0 +1,53 @@
+// Fixture: the sanctioned SIMD dispatch shapes — tiered #if/#elif with a
+// scalar #else, the inverted guard (scalar branch first, intrinsics in the
+// #else), intrinsic names safely inside comments, and a waived naked
+// intrinsic. The analyzer is lexical; this file is never compiled. Zero
+// hard findings.
+#include <cstdint>
+
+// The canonical util/simd.h shape: every tier branch vectorizes, the final
+// #else is the bit-exact scalar reference.
+long long tiered_dispatch(long long x) {
+#if defined(__AVX2__)
+  __m256i v = _mm256_set1_epi64x(x);
+  return _mm256_extract_epi64(v, 0);
+#elif defined(__SSE2__)
+  __m128i v = _mm_set1_epi64x(x);
+  return _mm_cvtsi128_si64(v);
+#else
+  return x;  // scalar fallback: bit-exact with the vector forms
+#endif
+}
+
+// Inverted guard: the non-else branch IS the scalar sibling.
+long long inverted_guard(long long x) {
+#if defined(PARSEMI_SIMD_OFF)
+  return x;
+#else
+  return _mm256_extract_epi64(_mm256_set1_epi64x(x), 0);
+#endif
+}
+
+// Nested: the inner conditional supplies its own scalar #else, so neither
+// frame is flagged.
+long long nested_dispatch(long long x) {
+#ifndef PARSEMI_SIMD_OFF
+#if defined(__AVX2__)
+  return _mm256_extract_epi64(_mm256_set1_epi64x(x), 0);
+#else
+  return x + 1;
+#endif
+#else
+  return x + 1;
+#endif
+}
+
+// Mentioning _mm256_add_epi64 or __m256i in a comment is not a use.
+/* Block comments citing _mm_loadu_si128 are fine too. */
+long long comments_only(long long x) { return x; }
+
+// A deliberate exception goes through the waiver machinery, not silence.
+long long waived_probe(long long x) {
+  // parsemi-check: allow(simd-fallback) -- ISA probe; scalar path upstream
+  return _mm256_extract_epi64(_mm256_set1_epi64x(x), 0);
+}

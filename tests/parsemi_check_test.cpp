@@ -138,6 +138,52 @@ TEST(NoGlobalScheduler, SchedulerSourcesAreExempt) {
   EXPECT_EQ(hard_count(a, rule::no_global_scheduler), 0);
 }
 
+TEST(SimdFallback, MissingElseAllVectorAndNakedIntrinsicsAreFlagged) {
+  analysis a = analyze_source(fixture("simd_fallback_bad.cpp"),
+                              "simd_fallback_bad.cpp");
+  // No-#else guard, all-branches-vector conditional, naked intrinsic.
+  EXPECT_EQ(hard_count(a, rule::simd_fallback), 3);
+}
+
+TEST(SimdFallback, TieredInvertedNestedAndWaivedShapesAreClean) {
+  analysis a = analyze_source(fixture("simd_fallback_good.cpp"),
+                              "simd_fallback_good.cpp");
+  EXPECT_EQ(hard_total(a), 0);
+  // The naked probe is waived, not silently ignored.
+  int waived = 0;
+  for (const finding& f : a.findings)
+    if (f.waived && f.r == rule::simd_fallback) ++waived;
+  EXPECT_EQ(waived, 1);
+}
+
+TEST(SimdFallback, RuleIsScopedToSrcAndFixtureNames) {
+  // The same violating text under tests/ or bench/ paths is clean — tests
+  // and benches may poke at intrinsics directly — while src/ paths and
+  // bare fixture names are in scope.
+  std::string text = fixture("simd_fallback_bad.cpp");
+  EXPECT_EQ(hard_count(analyze_source(text, "tests/some_test.cpp"),
+                       rule::simd_fallback),
+            0);
+  EXPECT_EQ(hard_count(analyze_source(text, "bench/some_bench.cpp"),
+                       rule::simd_fallback),
+            0);
+  EXPECT_EQ(hard_count(analyze_source(text, "src/util/widget.h"),
+                       rule::simd_fallback),
+            3);
+}
+
+TEST(SimdFallback, TheRealSimdHeaderIsClean) {
+  // util/simd.h is the contract's author; it must satisfy its own rule.
+  std::string path = std::string(PARSEMI_LINT_FIXTURE_DIR) +
+                     "/../../src/util/simd.h";
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  analysis a = analyze_source(ss.str(), "src/util/simd.h");
+  EXPECT_EQ(hard_count(a, rule::simd_fallback), 0);
+}
+
 TEST(Waivers, MissingReasonAndUnknownRuleAreFindings) {
   analysis a =
       analyze_source(fixture("waiver_bad.cpp"), "waiver_bad.cpp");
@@ -223,6 +269,7 @@ TEST(SeededViolations, AnalyzerExitsNonZeroOnEachBadFixture) {
       {"arena_lifetime_bad.cpp", rule::arena_lifetime},
       {"parallel_capture_bad.cpp", rule::parallel_capture},
       {"no_global_scheduler_bad.cpp", rule::no_global_scheduler},
+      {"simd_fallback_bad.cpp", rule::simd_fallback},
   };
   for (const auto& c : cases) {
     analysis a = analyze_source(fixture(c.file), c.file);

@@ -709,6 +709,131 @@ void check_global_scheduler(file_ctx& fc) {
   }
 }
 
+// ---- rule: simd-fallback -------------------------------------------------
+//
+// The SIMD contract (util/simd.h): every vector-intrinsic block must have a
+// scalar sibling so forced-scalar / non-x86 / TSan builds compile the same
+// semantics. The lexer strips preprocessor lines entirely, so this rule
+// scans the raw text line-wise, maintaining the #if conditional stack.
+// Intrinsic uses are attributed to the innermost open conditional; at its
+// #endif the frame is judged: intrinsics in a non-#else branch require an
+// #else, and that #else must itself be intrinsic-free (an #if whose only
+// intrinsics live in the #else is fine — the non-else branch is the scalar
+// sibling). Intrinsics outside any conditional are flagged per line.
+// Scoped to src/ (and bare fixture names): tests and benches may poke at
+// intrinsics directly.
+void check_simd_fallback(std::string_view text, file_ctx& fc) {
+  bool scoped = fc.path.rfind("src/", 0) == 0 ||
+                fc.path.find('/') == std::string::npos;
+  if (!scoped) return;
+
+  // True when `code` (one line, comments already removed) uses a vector
+  // intrinsic: an identifier starting _mm (covers _mm_/_mm256_/_mm512_ and
+  // the masked forms) or one of the vector register types.
+  auto uses_intrinsic = [](const std::string& code) {
+    size_t i = 0;
+    while (i < code.size()) {
+      if (ident_start(code[i]) && (i == 0 || !ident_char(code[i - 1]))) {
+        size_t b = i;
+        while (i < code.size() && ident_char(code[i])) ++i;
+        std::string_view id(code.data() + b, i - b);
+        if (id.rfind("_mm", 0) == 0 || id.rfind("__m128", 0) == 0 ||
+            id.rfind("__m256", 0) == 0 || id.rfind("__m512", 0) == 0) {
+          return true;
+        }
+      } else {
+        ++i;
+      }
+    }
+    return false;
+  };
+
+  struct frame {
+    int if_line = 0;
+    bool in_else = false;
+    bool intrinsics_in_if = false;    // any #if/#elif branch
+    bool intrinsics_in_else = false;
+  };
+  std::vector<frame> stack;
+
+  bool in_block_comment = false;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view raw = text.substr(pos, eol - pos);
+    ++line_no;
+
+    // Strip comments (tracking /* */ across lines; strings are not handled
+    // — intrinsic names inside string literals are not a thing in src/).
+    std::string code;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (in_block_comment) {
+        if (raw[i] == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (raw[i] == '/' && i + 1 < raw.size() && raw[i + 1] == '/') break;
+      if (raw[i] == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      code += raw[i];
+    }
+
+    size_t first = code.find_first_not_of(" \t");
+    if (first != std::string::npos && code[first] == '#') {
+      size_t d = code.find_first_not_of(" \t", first + 1);
+      std::string directive;
+      while (d != std::string::npos && d < code.size() &&
+             ident_char(code[d])) {
+        directive += code[d++];
+      }
+      if (directive == "if" || directive == "ifdef" ||
+          directive == "ifndef") {
+        stack.push_back({line_no});
+      } else if (directive == "else" || directive == "elif") {
+        if (!stack.empty() && directive == "else") stack.back().in_else = true;
+      } else if (directive == "endif") {
+        if (!stack.empty()) {
+          frame f = stack.back();
+          stack.pop_back();
+          if (f.intrinsics_in_if && !f.in_else) {
+            fc.add(rule::simd_fallback, f.if_line,
+                   "intrinsic block guarded at line " +
+                       std::to_string(f.if_line) +
+                       " has no #else — add the bit-exact scalar fallback "
+                       "(see util/simd.h's dispatch contract)");
+          } else if (f.intrinsics_in_if && f.intrinsics_in_else) {
+            fc.add(rule::simd_fallback, f.if_line,
+                   "every branch of the conditional at line " +
+                       std::to_string(f.if_line) +
+                       " uses intrinsics — the #else must be the scalar "
+                       "fallback");
+          }
+        }
+      }
+    } else if (uses_intrinsic(code)) {
+      if (stack.empty()) {
+        fc.add(rule::simd_fallback, line_no,
+               "vector intrinsic outside any #if guard — wrap it in a "
+               "tier conditional with a scalar #else (util/simd.h)");
+      } else if (stack.back().in_else) {
+        stack.back().intrinsics_in_else = true;
+      } else {
+        stack.back().intrinsics_in_if = true;
+      }
+    }
+
+    if (eol == text.size()) break;
+    pos = eol + 1;
+  }
+}
+
 // ---- waivers -------------------------------------------------------------
 
 struct waiver {
@@ -810,6 +935,7 @@ const char* rule_name(rule r) {
     case rule::arena_lifetime: return "arena-lifetime";
     case rule::parallel_capture: return "parallel-capture";
     case rule::no_global_scheduler: return "no-global-scheduler";
+    case rule::simd_fallback: return "simd-fallback";
   }
   return "?";
 }
@@ -840,6 +966,7 @@ analysis analyze_source(std::string_view text, std::string_view path) {
   check_arena_lifetime(fc);
   check_parallel_captures(fc);
   check_global_scheduler(fc);
+  check_simd_fallback(text, fc);
   std::vector<waiver> waivers = parse_waivers(lx, fc.path, a.findings);
   apply_waivers(waivers, a.findings);
   std::sort(a.findings.begin(), a.findings.end(),

@@ -30,6 +30,13 @@
 //                      calls `default_pool()`, so callers stay routable
 //                      onto instantiable pools instead of hard-wiring the
 //                      process-wide one.
+//   simd-fallback      a preprocessor-guarded block in src/ that uses
+//                      vector intrinsics (_mm*/__m128/__m256/__m512) must
+//                      have a sibling #else branch free of intrinsics —
+//                      the bit-exact scalar fallback util/simd.h promises
+//                      (so forced-scalar, non-x86, and TSan builds always
+//                      have live code). Intrinsics outside any #if have no
+//                      fallback at all and are flagged per line.
 //
 // Waiver syntax, on the finding's line or the line above:
 //   // parsemi-check: allow(<rule>[, <rule>...]) -- <reason>
@@ -54,9 +61,10 @@ enum class rule {
   arena_lifetime,
   parallel_capture,
   no_global_scheduler,
+  simd_fallback,
 };
 
-inline constexpr int kNumRules = 5;
+inline constexpr int kNumRules = 6;
 
 const char* rule_name(rule r);
 bool rule_from_name(std::string_view name, rule& out);
