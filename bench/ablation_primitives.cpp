@@ -103,7 +103,6 @@ BENCHMARK(BM_ParallelForOverhead)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 22);
 void BM_ForkJoinLatency(benchmark::State& state) {
   for (auto _ : state) {
     int a = 0, b = 0;
-    // parsemi-check: allow(parallel-capture) -- disjoint locals, read after join
     par_do([&] { a = 1; }, [&] { b = 2; });
     benchmark::DoNotOptimize(a + b);
   }

@@ -204,7 +204,6 @@ void counting_semisort(std::span<const Record> in, std::span<Record> out,
     counting_place_stable(
         n, high_width,
         [&](size_t i) {
-          // parsemi-check: allow(arena-lifetime) -- digit value, not a pointer
           return static_cast<size_t>((get_key(tmp[i]) - min) >> 16);
         },
         [&](size_t i, size_t pos) { out[pos] = tmp[i]; }, ctx);
@@ -346,7 +345,6 @@ bool try_dispatch_count_by_key(std::span<const K> keys, Result& out,
   }
   std::span<size_t> nonempty = pack_index_arena(
       width,
-      // parsemi-check: allow(arena-lifetime) -- bool value, not a pointer
       [&](size_t k) { return totals[k] != 0; }, ctx.scratch);
   out.resize(nonempty.size());
   parallel_for(0, nonempty.size(), [&](size_t g) {
@@ -415,7 +413,6 @@ bool try_dispatch_group_by_index(std::span<const Record> in, GetKey&& get_key,
     counting_place_stable(
         n, high_width,
         [&](size_t i) {
-          // parsemi-check: allow(arena-lifetime) -- digit value, not a pointer
           return static_cast<size_t>((get_key(in[tmp[i]]) - min) >> 16);
         },
         [&](size_t i, size_t pos) { order[pos] = tmp[i]; }, ctx);

@@ -1,0 +1,52 @@
+// Fixture: arena allocations escaping their arena_scope — every function
+// here carries exactly one finding. Covers the dataflow shapes: direct
+// return, tainted-local return, return after the scope rewound, a member
+// store, and laundering through a helper that returns fresh arena memory.
+struct arena {
+  template <class T>
+  T* alloc(unsigned long n);
+};
+struct arena_scope {
+  explicit arena_scope(arena& a);
+  ~arena_scope();
+};
+
+int* direct_return(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  return a.alloc<int>(n);  // flagged: rewinds at scope's close
+}
+
+int* escapes_via_return(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  int* tmp = a.alloc<int>(n);
+  tmp[0] = 1;
+  return tmp;  // flagged: tmp dies at scope's closing brace
+}
+
+int* returned_after_rewind(arena& a, unsigned long n) {
+  int* tmp = nullptr;
+  {
+    arena_scope scope(a);
+    tmp = a.alloc<int>(n);
+  }
+  return tmp;  // flagged: the scope already rewound
+}
+
+struct holder {
+  int* stash_;
+  void escapes_via_member(arena& a, unsigned long n) {
+    arena_scope scope(a);
+    int* tmp = a.alloc<int>(n);
+    stash_ = tmp;  // flagged: member outlives the scope
+  }
+};
+
+int* make_buffer(arena& a, unsigned long n) {
+  return a.alloc<int>(n);  // clean here: no scope, caller's contract
+}
+
+int* laundered_escape(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  int* tmp = make_buffer(a, n);
+  return tmp;  // flagged: make_buffer() returns fresh arena memory
+}

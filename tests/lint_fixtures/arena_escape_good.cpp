@@ -1,0 +1,40 @@
+// Fixture: arena uses the escape analysis must prove safe — values
+// computed from the allocation (the shapes that used to need "value, not
+// a pointer" waivers), unscoped allocations, and rebinding away the
+// taint. Nothing flagged.
+struct arena {
+  template <class T>
+  T* alloc(unsigned long n);
+};
+struct arena_scope {
+  explicit arena_scope(arena& a);
+  ~arena_scope();
+};
+
+long used_and_dropped(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  int* tmp = a.alloc<int>(n);
+  long sum = 0;
+  for (unsigned long i = 0; i < n; ++i) sum += tmp[i];
+  return sum;  // returns a value, not the allocation
+}
+
+int value_not_pointer(arena& a, unsigned long n) {
+  arena_scope scope(a);
+  int* tmp = a.alloc<int>(n);
+  tmp[0] = 7;
+  return tmp[0] + 1;  // element value: computed FROM the memory, clean
+}
+
+int* unscoped_alloc_may_escape(arena& a, unsigned long n) {
+  int* out = a.alloc<int>(n);  // no arena_scope active: caller's contract
+  return out;
+}
+
+int* rebound_is_clean(arena& a, int* stable, unsigned long n) {
+  arena_scope scope(a);
+  int* p = a.alloc<int>(n);
+  p[0] = 1;
+  p = stable;  // re-pointed at caller-owned memory: taint cleared
+  return p;
+}

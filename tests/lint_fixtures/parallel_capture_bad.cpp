@@ -1,5 +1,8 @@
 // Fixture: by-reference writes to captured locals inside parallel bodies —
-// all flagged (a data race unless the range is degenerate).
+// all flagged (a data race unless partitioned, atomic, or degenerate).
+// Includes the dataflow-strengthened shapes: writes through a reference
+// alias, writes from a nested lambda, and a par_do branch pair sharing a
+// captured name.
 #include <cstddef>
 
 template <class F>
@@ -17,7 +20,25 @@ long racy_sum(size_t n) {
 
 int racy_flag(size_t n) {
   int hits = 0;
-  parallel_for(0, n, [&](size_t) { ++hits; });  // flagged
-  par_do([&] { hits = 1; }, [] {});             // flagged
+  parallel_for(0, n, [&](size_t) { ++hits; });   // flagged
+  par_do([&] { hits = 1; }, [&] { hits = 2; });  // flagged twice: shared name
+  return hits;
+}
+
+long racy_through_alias(size_t n) {
+  long total = 0;
+  parallel_for(0, n, [&](size_t i) {
+    auto& t = total;
+    t += static_cast<long>(i);  // flagged: the alias writes the capture
+  });
+  return total;
+}
+
+long racy_nested_lambda(size_t n) {
+  long hits = 0;
+  parallel_for(0, n, [&](size_t i) {
+    auto bump = [&] { ++hits; };  // flagged: a lambda hop is still a race
+    bump();
+  });
   return hits;
 }

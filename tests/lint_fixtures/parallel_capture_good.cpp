@@ -1,10 +1,15 @@
 // Fixture: the sanctioned parallel-body idioms — per-index partition,
-// atomics, body-local accumulators, and a waived degenerate range.
+// atomics, body-local accumulators, literal degenerate ranges, disjoint
+// par_do branches, and one genuinely racy counter under a waiver.
 #include <atomic>
 #include <cstddef>
 
 template <class F>
 void parallel_for(size_t lo, size_t hi, F&& f);
+template <class F>
+void parallel_for_blocks(size_t blocks, F&& f);
+template <class L, class R>
+void par_do(L&& l, R&& r);
 
 void per_index_partition(long* out, size_t n) {
   parallel_for(0, n, [&](size_t i) {
@@ -29,9 +34,21 @@ void body_locals_are_fine(long* out, size_t n) {
   });
 }
 
-int waived_singleton(long* out) {
+int degenerate_ranges_run_one_task(long* out) {
   int calls = 0;
-  // parsemi-check: allow(parallel-capture) -- singleton range, one writer
-  parallel_for(0, 1, [&](size_t i) { out[i] = 1; ++calls; });
+  parallel_for(0, 1, [&](size_t i) { out[i] = 1; ++calls; });  // one task
+  parallel_for(3, 3, [&](size_t i) { out[i] = 2; ++calls; });  // zero tasks
+  parallel_for_blocks(1, [&](size_t b) { out[b] = 3; ++calls; });
+  return calls;
+}
+
+void disjoint_par_do_branches(long& left, long& right) {
+  par_do([&] { left = 1; }, [&] { right = 2; });  // sole owner per branch
+}
+
+int waived_shared_counter(long* out, size_t n) {
+  int calls = 0;
+  // parsemi-check: allow(parallel-capture) -- stats counter; torn reads ok
+  parallel_for(0, n, [&](size_t i) { out[i] = 3; ++calls; });
   return calls;
 }

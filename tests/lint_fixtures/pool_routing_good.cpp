@@ -1,0 +1,33 @@
+// Fixture: routed spawning — every root either accepts a routing
+// parameter (worker_pool& / pipeline_context& / semisort_params) or is
+// reachable from an indexed caller, so a pool can always be threaded
+// through. Nothing flagged.
+struct worker_pool;
+struct pipeline_context;
+struct semisort_params;
+template <class F>
+void parallel_for(unsigned long lo, unsigned long hi, F&& f);
+template <class F>
+void parallel_for(worker_pool& pool, unsigned long lo, unsigned long hi,
+                  F&& f);
+
+void routed_by_pool(worker_pool& pool, long* out, unsigned long n) {
+  parallel_for(pool, 0, n, [&out](unsigned long i) { out[i] = 0; });
+}
+
+void routed_by_context(pipeline_context& ctx, long* out, unsigned long n) {
+  parallel_for(0, n, [&out](unsigned long i) { out[i] = 1; });
+}
+
+void routed_by_params(const semisort_params& params, long* out,
+                      unsigned long n) {
+  parallel_for(0, n, [&out](unsigned long i) { out[i] = 2; });
+}
+
+void leaf_spawns(long* out, unsigned long n) {  // has a routed caller below
+  parallel_for(0, n, [&out](unsigned long i) { out[i] = 3; });
+}
+
+void routed_caller(worker_pool& pool, long* out, unsigned long n) {
+  leaf_spawns(out, n);
+}

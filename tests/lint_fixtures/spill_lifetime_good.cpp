@@ -1,0 +1,37 @@
+// Fixture: spill-derived spans that stay within their owner's lifetime —
+// value extraction before invalidation, move-into-owner transfer (the
+// mapping travels with ownership), and caller-owned parameters. Nothing
+// flagged.
+struct byte_span {
+  unsigned char* p;
+  unsigned long n;
+};
+struct spill_file {
+  explicit spill_file(unsigned long bytes);
+  byte_span as_span();
+  void reset();
+};
+namespace std {
+template <class T>
+T&& move(T& v);
+}
+
+unsigned long value_before_reset(unsigned long bytes) {
+  spill_file f(bytes);
+  byte_span sp = f.as_span();
+  unsigned long total = sp.n;
+  f.reset();
+  return total;  // the value survived; the span was not touched again
+}
+
+unsigned long move_transfers_the_mapping(unsigned long bytes) {
+  spill_file a(bytes);
+  byte_span sp = a.as_span();
+  spill_file b = std::move(a);  // sp now rides on b, which is still alive
+  return sp.n;
+}
+
+byte_span param_owner_is_callers(spill_file& f) {
+  byte_span sp = f.as_span();
+  return sp;  // caller owns f; handing back a view is the contract
+}

@@ -65,12 +65,10 @@ TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
 
 TEST(Scheduler, ParallelForEmptyAndSingleton) {
   int calls = 0;
-  // parsemi-check: allow(parallel-capture) -- empty range, body never runs
   parallel_for(5, 5, [&](size_t) { ++calls; });
   EXPECT_EQ(calls, 0);
   parallel_for(7, 8, [&](size_t i) {
     EXPECT_EQ(i, 7u);
-    // parsemi-check: allow(parallel-capture) -- singleton range, one writer
     ++calls;
   });
   EXPECT_EQ(calls, 1);

@@ -1,0 +1,202 @@
+#include "lint_lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace parsemi_check {
+
+namespace {
+
+// Multi-character punctuators we must not split: assignment/compound ops,
+// arrows, shifts, comparisons, scope.
+const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                "<=", ">=", "&&", "||", "<<", ">>"};
+
+}  // namespace
+
+lexed lex(std::string_view text) {
+  lexed out;
+  size_t i = 0;
+  int line = 1;
+  auto add_comment = [&](int at, std::string_view body) {
+    std::string& slot = out.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot.append(body);
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations).
+    if (c == '#') {
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      size_t start = i + 2;
+      while (i < text.size() && text[i] != '\n') ++i;
+      add_comment(line, text.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      size_t start = i + 2;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      size_t end = std::min(i, text.size());
+      i = std::min(i + 2, text.size());
+      // Attach the whole block body to its first line; good enough for
+      // waivers (which are single-line idioms anyway).
+      add_comment(start_line, text.substr(start, end - start));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"') {
+      size_t d0 = i + 2;
+      size_t dp = text.find('(', d0);
+      if (dp != std::string_view::npos) {
+        std::string close = ")";
+        close.append(text.substr(d0, dp - d0));
+        close += '"';
+        size_t endpos = text.find(close, dp + 1);
+        size_t stop = endpos == std::string_view::npos
+                          ? text.size()
+                          : endpos + close.size();
+        for (size_t k = i; k < stop; ++k)
+          if (text[k] == '\n') ++line;
+        out.tokens.push_back({tok_kind::str, "R\"...\"", line});
+        i = stop;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = i++;
+      while (i < text.size() && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;
+        if (text[i] == '\n') ++line;  // unterminated; keep line count sane
+        ++i;
+      }
+      if (i < text.size()) ++i;
+      out.tokens.push_back(
+          {tok_kind::str, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t start = i;
+      while (i < text.size() && ident_char(text[i])) ++i;
+      out.tokens.push_back(
+          {tok_kind::ident, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < text.size() &&
+             (ident_char(text[i]) || text[i] == '.' ||
+              // Digit separator: 10'000'000. Only between digit-ish chars,
+              // so a trailing quote stays a char literal.
+              (text[i] == '\'' && i + 1 < text.size() &&
+               ident_char(text[i + 1])) ||
+              ((text[i] == '+' || text[i] == '-') && i > start &&
+               (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                text[i - 1] == 'p' || text[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {tok_kind::number, std::string(text.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation: longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      if (text.substr(i, 3) == p) {
+        out.tokens.push_back({tok_kind::punct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPuncts2) {
+      if (text.substr(i, 2) == p) {
+        out.tokens.push_back({tok_kind::punct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({tok_kind::punct, std::string(1, c), line});
+    ++i;
+  }
+  out.last_line = line;
+  return out;
+}
+
+size_t match_forward(const std::vector<token>& toks, size_t open,
+                     std::string_view open_s, std::string_view close_s) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != tok_kind::punct) continue;
+    if (toks[i].text == open_s) ++depth;
+    else if (toks[i].text == close_s && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+size_t match_angles(const std::vector<token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">") {
+      if (--depth == 0) return i;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (t == ";" || t == "{") {
+      return toks.size();
+    }
+  }
+  return toks.size();
+}
+
+const std::set<std::string>& non_decl_keywords() {
+  static const std::set<std::string> k = {
+      "return",  "delete", "new",    "throw",  "case",     "goto",
+      "co_return", "co_yield", "co_await", "sizeof", "typeid", "else",
+      "do",      "if",     "while",  "for",    "switch",   "operator",
+      "const_cast", "static_cast", "dynamic_cast", "reinterpret_cast"};
+  return k;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> k = {
+      "if",     "for",    "while", "switch",   "catch",  "return",
+      "sizeof", "typeid", "throw", "co_await", "co_return", "co_yield",
+      "alignof", "alignas", "decltype", "static_assert", "noexcept",
+      "defined", "assert"};
+  return k;
+}
+
+}  // namespace parsemi_check

@@ -1,0 +1,28 @@
+// Internal seam between the analyzer's orchestration (parsemi_check.cpp)
+// and the phase-2 interprocedural rules (lint_dataflow.cpp). Not installed,
+// not part of the library surface — tests go through parsemi_check.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint_index.h"
+#include "parsemi_check.h"
+
+namespace parsemi_check {
+
+// One lexed file as phase 2 sees it: findings carry `path`, dataflow walks
+// the token stream through the func_entry body ranges recorded in the
+// index.
+struct unit {
+  std::string path;
+  const lexed* lx = nullptr;
+};
+
+// Runs arena-escape, spill-lifetime and pool-routing over the whole
+// project. `units` must be ordered exactly as the files were indexed (the
+// func_entry body token ranges refer to these streams).
+void run_dataflow_rules(const std::vector<unit>& units,
+                        const symbol_index& idx, std::vector<finding>& out);
+
+}  // namespace parsemi_check

@@ -2,223 +2,20 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <ostream>
 #include <set>
 #include <sstream>
+
+#include "lint_lexer.h"
+#include "lint_rules.h"
 
 namespace parsemi_check {
 
 namespace {
-
-// ---- tokenizer -----------------------------------------------------------
-
-enum class tok_kind : uint8_t { ident, number, str, punct };
-
-struct token {
-  tok_kind kind;
-  std::string text;
-  int line = 0;
-};
-
-// One source file, lexed: tokens with comments and preprocessor lines
-// stripped, plus the per-line comment text (waivers and rationale comments
-// are read from here).
-struct lexed {
-  std::vector<token> tokens;
-  std::map<int, std::string> comments;  // line -> concatenated comment text
-  int last_line = 1;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Multi-character punctuators we must not split: assignment/compound ops,
-// arrows, shifts, comparisons, scope.
-const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*"};
-const char* const kPuncts2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
-                                "/=", "%=", "&=", "|=", "^=", "==", "!=",
-                                "<=", ">=", "&&", "||", "<<", ">>"};
-
-lexed lex(std::string_view text) {
-  lexed out;
-  size_t i = 0;
-  int line = 1;
-  auto add_comment = [&](int at, std::string_view body) {
-    std::string& slot = out.comments[at];
-    if (!slot.empty()) slot += ' ';
-    slot.append(body);
-  };
-  while (i < text.size()) {
-    char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line (honoring continuations).
-    // Only when '#' starts the directive position (whitespace before it on
-    // the line is fine — we do not track that precisely; a '#' token cannot
-    // appear elsewhere in the C++ we lint).
-    if (c == '#') {
-      while (i < text.size()) {
-        if (text[i] == '\\' && i + 1 < text.size() && text[i + 1] == '\n') {
-          i += 2;
-          ++line;
-          continue;
-        }
-        if (text[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-      size_t start = i + 2;
-      while (i < text.size() && text[i] != '\n') ++i;
-      add_comment(line, text.substr(start, i - start));
-      continue;
-    }
-    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
-      size_t start = i + 2;
-      int start_line = line;
-      i += 2;
-      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') ++line;
-        ++i;
-      }
-      size_t end = std::min(i, text.size());
-      i = std::min(i + 2, text.size());
-      // Attach the whole block body to its first line; good enough for
-      // waivers (which are single-line idioms anyway).
-      add_comment(start_line, text.substr(start, end - start));
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim"
-    if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"') {
-      size_t d0 = i + 2;
-      size_t dp = text.find('(', d0);
-      if (dp != std::string_view::npos) {
-        std::string close = ")" + std::string(text.substr(d0, dp - d0)) + "\"";
-        size_t endpos = text.find(close, dp + 1);
-        size_t stop = endpos == std::string_view::npos
-                          ? text.size()
-                          : endpos + close.size();
-        for (size_t k = i; k < stop; ++k)
-          if (text[k] == '\n') ++line;
-        out.tokens.push_back({tok_kind::str, "R\"...\"", line});
-        i = stop;
-        continue;
-      }
-    }
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      size_t start = i++;
-      while (i < text.size() && text[i] != quote) {
-        if (text[i] == '\\' && i + 1 < text.size()) ++i;
-        if (text[i] == '\n') ++line;  // unterminated; keep line count sane
-        ++i;
-      }
-      if (i < text.size()) ++i;
-      out.tokens.push_back(
-          {tok_kind::str, std::string(text.substr(start, i - start)), line});
-      continue;
-    }
-    if (ident_start(c)) {
-      size_t start = i;
-      while (i < text.size() && ident_char(text[i])) ++i;
-      out.tokens.push_back(
-          {tok_kind::ident, std::string(text.substr(start, i - start)), line});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t start = i;
-      while (i < text.size() &&
-             (ident_char(text[i]) || text[i] == '.' ||
-              ((text[i] == '+' || text[i] == '-') && i > start &&
-               (text[i - 1] == 'e' || text[i - 1] == 'E' ||
-                text[i - 1] == 'p' || text[i - 1] == 'P')))) {
-        ++i;
-      }
-      out.tokens.push_back(
-          {tok_kind::number, std::string(text.substr(start, i - start)), line});
-      continue;
-    }
-    // Punctuation: longest match first.
-    bool matched = false;
-    for (const char* p : kPuncts3) {
-      if (text.substr(i, 3) == p) {
-        out.tokens.push_back({tok_kind::punct, p, line});
-        i += 3;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    for (const char* p : kPuncts2) {
-      if (text.substr(i, 2) == p) {
-        out.tokens.push_back({tok_kind::punct, p, line});
-        i += 2;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    out.tokens.push_back({tok_kind::punct, std::string(1, c), line});
-    ++i;
-  }
-  out.last_line = line;
-  return out;
-}
-
-// ---- shared token helpers ------------------------------------------------
-
-bool is(const token& t, std::string_view s) { return t.text == s; }
-
-bool is_ident(const token& t) { return t.kind == tok_kind::ident; }
-
-// Index of the matching closer for the opener at `open` ("(", "[", "{").
-// Returns tokens.size() when unbalanced (we then give up quietly — the
-// compiler will have plenty to say about such a file).
-size_t match_forward(const std::vector<token>& toks, size_t open,
-                     std::string_view open_s, std::string_view close_s) {
-  int depth = 0;
-  for (size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].kind != tok_kind::punct) continue;
-    if (toks[i].text == open_s) ++depth;
-    else if (toks[i].text == close_s && --depth == 0) return i;
-  }
-  return toks.size();
-}
-
-// Matches a template argument list starting at the '<' at `open`. Angle
-// brackets are not real brackets, so this is heuristic: it tracks <>
-// nesting and bails out on tokens that cannot appear in a type argument
-// position (";", "{"), returning npos.
-size_t match_angles(const std::vector<token>& toks, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < toks.size(); ++i) {
-    const std::string& t = toks[i].text;
-    if (t == "<") ++depth;
-    else if (t == ">") {
-      if (--depth == 0) return i;
-    } else if (t == ">>") {
-      depth -= 2;
-      if (depth <= 0) return i;
-    } else if (t == ";" || t == "{") {
-      return toks.size();
-    }
-  }
-  return toks.size();
-}
 
 bool mentions_memory_order(const std::vector<token>& toks, size_t lo,
                            size_t hi) {
@@ -239,16 +36,6 @@ const std::set<std::string>& atomic_member_ops() {
       "fetch_or",      "fetch_xor",
       "compare_exchange_weak", "compare_exchange_strong"};
   return ops;
-}
-
-// Statement-level keywords after which a bare ident is NOT a declaration.
-const std::set<std::string>& non_decl_keywords() {
-  static const std::set<std::string> k = {
-      "return",  "delete", "new",    "throw",  "case",     "goto",
-      "co_return", "co_yield", "co_await", "sizeof", "typeid", "else",
-      "do",      "if",     "while",  "for",    "switch",   "operator",
-      "const_cast", "static_cast", "dynamic_cast", "reinterpret_cast"};
-  return k;
 }
 
 // ---- per-file analysis state ---------------------------------------------
@@ -420,177 +207,182 @@ void check_atomics(file_ctx& fc) {
   }
 }
 
-// ---- rule: arena-lifetime ------------------------------------------------
+// ---- rule: parallel-capture ----------------------------------------------
+//
+// Dataflow-strengthened over the v1 lexical scan: reference aliases of
+// captured locals are followed (`auto& total = sum; ++total;` is a write
+// to `sum`), nested lambda bodies are walked (a write is racy no matter
+// how many lambda hops it sits behind), and two exemptions remove the
+// historical waiver population: literal empty/singleton ranges (one task,
+// no concurrency) and par_do/fork_join branches whose captured locals are
+// disjoint (each branch is the sole owner of what it writes).
 
-// Statement-oriented scan with a brace stack. An alloc-bound variable dies
-// when the brace level of its governing arena_scope closes; returning it or
-// storing it into a member (name_ / this->name) while the scope is active
-// or after it died is a finding.
-void check_arena_lifetime(file_ctx& fc) {
+// Literal value of a single-token numeric argument; false when the arg is
+// not one bare number.
+bool literal_arg_value(const std::vector<token>& toks, size_t lo, size_t hi,
+                       long long& val) {
+  if (hi != lo + 1 || toks[lo].kind != tok_kind::number) return false;
+  // Strip integer suffixes (u/U/l/L/z/Z); reject anything non-integral.
+  std::string digits;
+  for (char c : toks[lo].text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digits += c;
+    else if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' ||
+             c == 'Z' || c == '\'') continue;
+    else return false;
+  }
+  if (digits.empty()) return false;
+  val = std::stoll(digits);
+  return true;
+}
+
+// Splits [lo, hi) into top-level comma-separated argument ranges.
+std::vector<std::pair<size_t, size_t>> split_args(
+    const std::vector<token>& toks, size_t lo, size_t hi) {
+  std::vector<std::pair<size_t, size_t>> args;
+  int nest = 0, angle = 0;
+  size_t begin = lo;
+  for (size_t i = lo; i < hi; ++i) {
+    const std::string& x = toks[i].text;
+    if (x == "(" || x == "[" || x == "{") ++nest;
+    else if (x == ")" || x == "]" || x == "}") --nest;
+    else if (x == "<") ++angle;
+    else if (x == ">" && angle > 0) --angle;
+    else if (x == "," && nest == 0 && angle == 0) {
+      args.push_back({begin, i});
+      begin = i + 1;
+    }
+  }
+  if (begin < hi) args.push_back({begin, hi});
+  return args;
+}
+
+// One by-ref lambda inside a parallel call: what it mentions and what it
+// would be flagged for writing.
+struct branch_scan {
+  std::set<std::string> mentions;  // captured (non-local) names referenced
+  struct write {
+    std::string name;   // the root captured name (after alias resolution)
+    int line;
+    std::string via;    // alias name when written through one, else ""
+    std::string entry;  // parallel_for / par_do / ...
+  };
+  std::vector<write> writes;
+};
+
+void scan_parallel_body(file_ctx& fc, const std::string& entry,
+                        size_t body_open, size_t body_close,
+                        std::set<std::string> locals, branch_scan& out) {
   const auto& toks = fc.lx->tokens;
-  struct var_info {
-    int decl_depth = 0;
-    int scope_depth = 0;  // innermost arena_scope depth at alloc; 0 = none
-    bool dead = false;    // its arena_scope's brace has closed
-    int alloc_line = 0;
-  };
-  std::map<std::string, var_info> vars;
-  std::vector<int> scope_stack;  // brace depths holding an arena_scope
-  int depth = 0;
-
-  auto stmt_has_alloc = [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      if (is_ident(toks[i]) &&
-          (toks[i].text == "alloc" || toks[i].text == "alloc_aligned" ||
-           toks[i].text == "alloc_bytes") &&
-          i > 0 && (is(toks[i - 1], ".") || is(toks[i - 1], "->"))) {
-        return true;
-      }
-    }
-    return false;
-  };
-
-  size_t stmt_start = 0;
-  for (size_t i = 0; i < toks.size(); ++i) {
-    const token& t = toks[i];
-    if (is(t, "{")) {
-      ++depth;
-      stmt_start = i + 1;
-      continue;
-    }
-    if (is(t, "}")) {
-      // Close any arena_scope at this depth: everything it governed dies.
-      while (!scope_stack.empty() && scope_stack.back() == depth) {
-        scope_stack.pop_back();
-        for (auto& [name, v] : vars) {
-          if (!v.dead && v.scope_depth == depth) v.dead = true;
-        }
-      }
-      for (auto it = vars.begin(); it != vars.end();) {
-        if (it->second.decl_depth >= depth) it = vars.erase(it);
-        else ++it;
-      }
-      --depth;
-      stmt_start = i + 1;
-      continue;
-    }
-    if (!is(t, ";")) continue;
-
-    // Process statement [stmt_start, i).
-    size_t lo = stmt_start, hi = i;
-    stmt_start = i + 1;
-    if (lo >= hi) continue;
-
-    // arena_scope declaration?
-    for (size_t k = lo; k < hi; ++k) {
-      if (is_ident(toks[k]) && toks[k].text == "arena_scope") {
-        scope_stack.push_back(depth);
-        break;
-      }
-    }
-
-    // return statement referencing a tracked allocation?
-    if (is_ident(toks[lo]) && toks[lo].text == "return") {
-      for (size_t k = lo + 1; k < hi; ++k) {
-        if (!is_ident(toks[k])) continue;
-        auto it = vars.find(toks[k].text);
-        if (it == vars.end() || it->second.scope_depth == 0) continue;
-        fc.add(rule::arena_lifetime, toks[k].line,
-               "'" + toks[k].text + "' (arena allocation from line " +
-                   std::to_string(it->second.alloc_line) +
-                   (it->second.dead
-                        ? ") is returned after its arena_scope rewound"
-                        : ") escapes the arena_scope that owns it via "
-                          "return"));
-        break;
-      }
-      continue;
-    }
-
-    // Member store of a tracked allocation: `name_ = x` / `this->m = x`.
-    for (size_t k = lo; k + 1 < hi; ++k) {
-      if (!is(toks[k + 1], "=")) continue;
-      if (!is_ident(toks[k])) continue;
-      bool member_target =
-          (!toks[k].text.empty() && toks[k].text.back() == '_') ||
-          (k >= 2 && is(toks[k - 1], "->") && is_ident(toks[k - 2]) &&
-           toks[k - 2].text == "this");
-      if (!member_target) continue;
-      for (size_t m = k + 2; m < hi; ++m) {
-        if (!is_ident(toks[m])) continue;
-        auto it = vars.find(toks[m].text);
-        if (it == vars.end() || it->second.scope_depth == 0) continue;
-        fc.add(rule::arena_lifetime, toks[m].line,
-               "'" + toks[m].text + "' (arena allocation from line " +
-                   std::to_string(it->second.alloc_line) +
-                   ") is stored into member '" + toks[k].text +
-                   "', which outlives its arena_scope");
-        break;
-      }
-      break;
-    }
-
-    // Allocation binding: record the declared/assigned name.
-    if (!stmt_has_alloc(lo, hi)) continue;
-    // Find the bound name: ident immediately before the first '=' at
-    // top nesting, else (constructor form `span<T> s(alloc...)`) the ident
-    // before the first '(' whose contents mention alloc.
-    std::string bound;
-    int bound_line = 0;
-    int nest = 0;
-    for (size_t k = lo; k < hi; ++k) {
+  std::map<std::string, std::string> aliases;  // alias -> captured root
+  bool stmt_decl = false;  // statement declared a local (for `, hi = …`)
+  int nest = 0;            // ()/[] nesting inside the body
+  for (size_t k = body_open + 1; k < body_close; ++k) {
+    if (toks[k].kind == tok_kind::punct) {
       const std::string& x = toks[k].text;
       if (x == "(" || x == "[") ++nest;
       else if (x == ")" || x == "]") --nest;
-      else if (nest == 0 && x == "=" && k > lo && is_ident(toks[k - 1])) {
-        bound = toks[k - 1].text;
-        bound_line = toks[k - 1].line;
-        break;
-      } else if (nest == 1 && x == "(" ) {
+      else if (x == ";" || x == "{" || x == "}") stmt_decl = false;
+      continue;
+    }
+    if (!is_ident(toks[k])) continue;
+    const std::string& name = toks[k].text;
+    // Declaration inside the body? (`type name`, `type& name`, …)
+    if (k > 0 &&
+        ((is_ident(toks[k - 1]) &&
+          !non_decl_keywords().count(toks[k - 1].text)) ||
+         ((is(toks[k - 1], "&") || is(toks[k - 1], "*") ||
+           is(toks[k - 1], ">")) &&
+          k >= 2 && (is_ident(toks[k - 2]) || is(toks[k - 2], ">"))))) {
+      // Reference alias of a captured local: `auto& a = captured;` binds
+      // `a` to the same object — writes through it are writes to the
+      // capture, so record the alias instead of treating it as a fresh
+      // local.
+      if (is(toks[k - 1], "&") && k + 2 < body_close &&
+          is(toks[k + 1], "=") && is_ident(toks[k + 2]) &&
+          (k + 3 >= body_close || is(toks[k + 3], ";") ||
+           is(toks[k + 3], ",")) &&
+          !locals.count(toks[k + 2].text)) {
+        std::string root = toks[k + 2].text;
+        auto a = aliases.find(root);
+        aliases[name] = a == aliases.end() ? root : a->second;
+        out.mentions.insert(aliases[name]);
+        stmt_decl = true;
+        continue;
+      }
+      locals.insert(name);
+      stmt_decl = true;
+      continue;
+    }
+    // Second declarator of the same statement: `size_t lo = a, hi = b;`
+    if (stmt_decl && nest == 0 && k > 0 && is(toks[k - 1], ",")) {
+      locals.insert(name);
+      continue;
+    }
+    if (locals.count(name)) continue;
+    // Member/qualified accesses target another object, not the name.
+    if (k > 0 && (is(toks[k - 1], ".") || is(toks[k - 1], "->") ||
+                  is(toks[k - 1], "::"))) {
+      continue;
+    }
+    auto al = aliases.find(name);
+    const std::string& root = al == aliases.end() ? name : al->second;
+    out.mentions.insert(root);
+    bool pre = k > 0 && (is(toks[k - 1], "++") || is(toks[k - 1], "--"));
+    bool post = false;
+    if (k + 1 < body_close && toks[k + 1].kind == tok_kind::punct) {
+      const std::string& n = toks[k + 1].text;
+      if (n == "=" || n == "+=" || n == "-=" || n == "*=" || n == "/=" ||
+          n == "%=" || n == "&=" || n == "|=" || n == "^=" ||
+          n == "<<=" || n == ">>=" || n == "++" || n == "--") {
+        post = true;
       }
     }
-    if (bound.empty()) {
-      for (size_t k = lo + 1; k < hi; ++k) {
-        if (is(toks[k], "(") && is_ident(toks[k - 1]) &&
-            !non_decl_keywords().count(toks[k - 1].text)) {
-          size_t close = match_forward(toks, k, "(", ")");
-          if (close < hi && stmt_has_alloc(k, close)) {
-            bound = toks[k - 1].text;
-            bound_line = toks[k - 1].line;
-          }
-          break;
-        }
-      }
-    }
-    if (!bound.empty()) {
-      var_info v;
-      v.decl_depth = depth;
-      v.scope_depth = scope_stack.empty() ? 0 : scope_stack.back();
-      v.alloc_line = bound_line;
-      vars[bound] = v;
+    if (pre || post) {
+      out.writes.push_back({root, toks[k].line,
+                            al == aliases.end() ? "" : name, entry});
     }
   }
-}
-
-// ---- rule: parallel-capture ----------------------------------------------
-
-const std::set<std::string>& parallel_entry_points() {
-  static const std::set<std::string> p = {"parallel_for", "parallel_for_blocks",
-                                          "par_do", "fork_join",
-                                          "parallel_for_rec"};
-  return p;
 }
 
 void check_parallel_captures(file_ctx& fc) {
   const auto& toks = fc.lx->tokens;
   for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (!is_ident(toks[i]) || !parallel_entry_points().count(toks[i].text))
+    if (!is_ident(toks[i]) || !spawn_entry_points().count(toks[i].text))
       continue;
-    if (!is(toks[i + 1], "(")) continue;
-    size_t call_close = match_forward(toks, i + 1, "(", ")");
+    size_t open = i + 1;
+    if (is(toks[open], "<")) {  // parallel_for<...>(…)
+      size_t ac = match_angles(toks, open);
+      if (ac >= toks.size()) continue;
+      open = ac + 1;
+    }
+    if (open >= toks.size() || !is(toks[open], "(")) continue;
+    size_t call_close = match_forward(toks, open, "(", ")");
     if (call_close >= toks.size()) continue;
-    // Find each by-reference lambda among the arguments.
-    for (size_t j = i + 2; j < call_close; ++j) {
+    const std::string& entry = toks[i].text;
+
+    // Literal degenerate range: parallel_for(5, 5, …) /
+    // parallel_for(7, 8, …) runs zero or one task — there is no second
+    // worker to race with, so captured writes are fine.
+    auto args = split_args(toks, open + 1, call_close);
+    bool degenerate = false;
+    long long lo = 0, hi = 0;
+    if ((entry == "parallel_for" || entry == "parallel_for_rec") &&
+        args.size() >= 2 &&
+        literal_arg_value(toks, args[0].first, args[0].second, lo) &&
+        literal_arg_value(toks, args[1].first, args[1].second, hi)) {
+      degenerate = hi - lo <= 1;
+    } else if (entry == "parallel_for_blocks" && !args.empty() &&
+               literal_arg_value(toks, args[0].first, args[0].second, lo)) {
+      degenerate = lo <= 1;
+    }
+    if (degenerate) {
+      i = call_close;
+      continue;
+    }
+
+    // Scan each by-reference lambda among the arguments.
+    std::vector<branch_scan> branches;
+    for (size_t j = open + 1; j < call_close; ++j) {
       if (!is(toks[j], "[")) continue;
       size_t cap_close = match_forward(toks, j, "[", "]");
       if (cap_close >= call_close) break;
@@ -622,61 +414,35 @@ void check_parallel_captures(file_ctx& fc) {
       while (body_open < call_close && !is(toks[body_open], "{")) ++body_open;
       if (body_open >= call_close) continue;
       size_t body_close = match_forward(toks, body_open, "{", "}");
-
-      bool stmt_decl = false;  // statement declared a local (for `, hi = …`)
-      int nest = 0;            // ()/[] nesting inside the body
-      for (size_t k = body_open + 1; k < body_close; ++k) {
-        if (toks[k].kind == tok_kind::punct) {
-          const std::string& x = toks[k].text;
-          if (x == "(" || x == "[") ++nest;
-          else if (x == ")" || x == "]") --nest;
-          else if (x == ";" || x == "{" || x == "}") stmt_decl = false;
-          continue;
-        }
-        if (!is_ident(toks[k])) continue;
-        const std::string& name = toks[k].text;
-        // Declaration inside the body? (`type name`, `type& name`, …)
-        if (k > 0 &&
-            ((is_ident(toks[k - 1]) &&
-              !non_decl_keywords().count(toks[k - 1].text)) ||
-             ((is(toks[k - 1], "&") || is(toks[k - 1], "*") ||
-               is(toks[k - 1], ">")) &&
-              k >= 2 && (is_ident(toks[k - 2]) || is(toks[k - 2], ">"))))) {
-          locals.insert(name);
-          stmt_decl = true;
-          continue;
-        }
-        // Second declarator of the same statement: `size_t lo = a, hi = b;`
-        if (stmt_decl && nest == 0 && k > 0 && is(toks[k - 1], ",")) {
-          locals.insert(name);
-          continue;
-        }
-        if (locals.count(name)) continue;
-        // A write through a bare name? Exclude member/subscript targets.
-        if (k > 0 && (is(toks[k - 1], ".") || is(toks[k - 1], "->") ||
-                      is(toks[k - 1], "::"))) {
-          continue;
-        }
-        bool pre = k > 0 && (is(toks[k - 1], "++") || is(toks[k - 1], "--"));
-        bool post = false;
-        std::string op;
-        if (k + 1 < body_close && toks[k + 1].kind == tok_kind::punct) {
-          const std::string& n = toks[k + 1].text;
-          if (n == "=" || n == "+=" || n == "-=" || n == "*=" || n == "/=" ||
-              n == "%=" || n == "&=" || n == "|=" || n == "^=" ||
-              n == "<<=" || n == ">>=" || n == "++" || n == "--") {
-            post = true;
-            op = n;
-          }
-        }
-        if (pre || post) {
-          fc.add(rule::parallel_capture, toks[k].line,
-                 "by-reference write to captured local '" + name +
-                     "' inside a " + toks[i].text +
-                     " body (no per-index partition; not atomic)");
-        }
-      }
+      branch_scan bs;
+      scan_parallel_body(fc, entry, body_open, body_close, locals, bs);
+      branches.push_back(std::move(bs));
       j = body_close;
+    }
+
+    // par_do/fork_join with branches touching disjoint captured sets: each
+    // branch is the sole task touching what it writes — sequential
+    // ownership, not a race. Writes shared with another branch stay
+    // findings.
+    bool fork_like = entry == "par_do" || entry == "fork_join";
+    for (size_t b = 0; b < branches.size(); ++b) {
+      for (const auto& w : branches[b].writes) {
+        if (fork_like && branches.size() >= 2) {
+          bool shared = false;
+          for (size_t o = 0; o < branches.size() && !shared; ++o) {
+            if (o != b && branches[o].mentions.count(w.name)) shared = true;
+          }
+          if (!shared) continue;
+        }
+        std::string msg = "by-reference write to captured local '" + w.name +
+                          "'";
+        if (!w.via.empty()) {
+          msg += " (through reference alias '" + w.via + "')";
+        }
+        msg += " inside a " + w.entry +
+               " body (no per-index partition; not atomic)";
+        fc.add(rule::parallel_capture, w.line, std::move(msg));
+      }
     }
     i = call_close;
   }
@@ -924,6 +690,37 @@ void apply_waivers(const std::vector<waiver>& waivers,
   }
 }
 
+void sort_findings(std::vector<finding>& fs) {
+  std::sort(fs.begin(), fs.end(), [](const finding& x, const finding& y) {
+    if (x.file != y.file) return x.file < y.file;
+    if (x.line != y.line) return x.line < y.line;
+    return static_cast<int>(x.r) < static_cast<int>(y.r);
+  });
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---- public API ----------------------------------------------------------
@@ -932,10 +729,12 @@ const char* rule_name(rule r) {
   switch (r) {
     case rule::atomics_order: return "atomics-order";
     case rule::atomics_rationale: return "atomics-rationale";
-    case rule::arena_lifetime: return "arena-lifetime";
+    case rule::arena_escape: return "arena-escape";
     case rule::parallel_capture: return "parallel-capture";
     case rule::no_global_scheduler: return "no-global-scheduler";
     case rule::simd_fallback: return "simd-fallback";
+    case rule::spill_lifetime: return "spill-lifetime";
+    case rule::pool_routing: return "pool-routing";
   }
   return "?";
 }
@@ -951,30 +750,63 @@ bool rule_from_name(std::string_view name, rule& out) {
   return false;
 }
 
+project_analysis analyze_project(const std::vector<source_file>& files) {
+  project_analysis pa;
+
+  // Phase 1: lex everything, build the symbol index.
+  std::vector<lexed> lexes;
+  lexes.reserve(files.size());
+  for (const source_file& f : files) lexes.push_back(lex(f.text));
+  for (size_t i = 0; i < files.size(); ++i) {
+    index_file(files[i].path, lexes[i], pa.index);
+  }
+
+  // Phase 2a: per-file lexical rules.
+  std::vector<finding>& all = pa.result.findings;
+  std::map<std::string, std::vector<waiver>> waivers_by_file;
+  for (size_t i = 0; i < files.size(); ++i) {
+    file_ctx fc;
+    fc.path = files[i].path;
+    size_t slash = fc.path.find_last_of('/');
+    fc.fname =
+        slash == std::string::npos ? fc.path : fc.path.substr(slash + 1);
+    fc.lx = &lexes[i];
+    fc.out = &all;
+    collect_atomic_decls(fc);
+    compute_loop_depth(fc);
+    check_atomics(fc);
+    check_parallel_captures(fc);
+    check_global_scheduler(fc);
+    check_simd_fallback(files[i].text, fc);
+    waivers_by_file[fc.path] = parse_waivers(lexes[i], fc.path, all);
+  }
+
+  // Phase 2b: interprocedural dataflow over the index. Skipped when the
+  // index could not be built — mis-scoped entries would produce garbage
+  // findings (the CLI maps index errors to exit 4).
+  if (pa.index.errors.empty()) {
+    std::vector<unit> units;
+    units.reserve(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+      units.push_back({files[i].path, &lexes[i]});
+    }
+    run_dataflow_rules(units, pa.index, all);
+  }
+
+  for (finding& f : all) {
+    auto it = waivers_by_file.find(f.file);
+    if (it == waivers_by_file.end()) continue;
+    std::vector<finding> one{std::move(f)};
+    apply_waivers(it->second, one);
+    f = std::move(one.front());
+  }
+  sort_findings(all);
+  return pa;
+}
+
 analysis analyze_source(std::string_view text, std::string_view path) {
-  analysis a;
-  lexed lx = lex(text);
-  file_ctx fc;
-  fc.path = std::string(path);
-  size_t slash = fc.path.find_last_of('/');
-  fc.fname = slash == std::string::npos ? fc.path : fc.path.substr(slash + 1);
-  fc.lx = &lx;
-  fc.out = &a.findings;
-  collect_atomic_decls(fc);
-  compute_loop_depth(fc);
-  check_atomics(fc);
-  check_arena_lifetime(fc);
-  check_parallel_captures(fc);
-  check_global_scheduler(fc);
-  check_simd_fallback(text, fc);
-  std::vector<waiver> waivers = parse_waivers(lx, fc.path, a.findings);
-  apply_waivers(waivers, a.findings);
-  std::sort(a.findings.begin(), a.findings.end(),
-            [](const finding& x, const finding& y) {
-              if (x.line != y.line) return x.line < y.line;
-              return static_cast<int>(x.r) < static_cast<int>(y.r);
-            });
-  return a;
+  return analyze_project({{std::string(path), std::string(text)}})
+      .result;
 }
 
 std::vector<std::string> discover_files(const std::string& root) {
@@ -1058,6 +890,220 @@ std::vector<std::string> diff_baseline(std::string_view baseline_text,
   std::sort(drift.begin(), drift.end());
   return drift;
 }
+
+std::string to_json(const analysis& a, size_t files_scanned,
+                    const std::vector<index_error>& errors) {
+  std::vector<finding> fs = a.findings;
+  sort_findings(fs);
+  size_t hard = 0, waived = 0;
+  for (const finding& f : fs) (f.waived ? waived : hard)++;
+  std::string out = "{\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"files_scanned\": " + std::to_string(files_scanned) + ",\n";
+  out += "  \"counts\": {\"hard\": " + std::to_string(hard) +
+         ", \"waived\": " + std::to_string(waived) + "},\n";
+  out += "  \"index_errors\": [";
+  for (size_t i = 0; i < errors.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"file\": \"" + json_escape(errors[i].file) +
+           "\", \"message\": \"" + json_escape(errors[i].message) + "\"}";
+  }
+  out += errors.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < fs.size(); ++i) {
+    const finding& f = fs[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"rule\": \"" + std::string(rule_name(f.r)) +
+           "\", \"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) +
+           ", \"waived\": " + (f.waived ? "true" : "false") +
+           ", \"message\": \"" + json_escape(f.message) + "\"";
+    if (f.waived) {
+      out += ", \"waiver_reason\": \"" + json_escape(f.waiver_reason) + "\"";
+    }
+    out += "}";
+  }
+  out += fs.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+// ---- CLI -----------------------------------------------------------------
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::string root;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string write_index_path;
+  std::string format = "text";
+  std::vector<std::string> explicit_files;
+  bool emit_tus = false;
+  std::string tu_src, tu_out;
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto need = [&](const char* flag, std::string& dst) {
+      if (i + 1 >= args.size()) {
+        err << "parsemi_check: " << flag << " needs an argument\n";
+        return false;
+      }
+      dst = args[++i];
+      return true;
+    };
+    if (a == "--root") {
+      if (!need("--root", root)) return kExitUsage;
+    } else if (a == "--baseline") {
+      if (!need("--baseline", baseline_path)) return kExitUsage;
+    } else if (a == "--write-baseline") {
+      if (!need("--write-baseline", write_baseline_path)) return kExitUsage;
+    } else if (a == "--write-index") {
+      if (!need("--write-index", write_index_path)) return kExitUsage;
+    } else if (a.rfind("--format=", 0) == 0) {
+      format = a.substr(9);
+      if (format != "text" && format != "json") {
+        err << "parsemi_check: unknown format '" << format
+            << "' (use text or json)\n";
+        return kExitUsage;
+      }
+    } else if (a == "--emit-header-tus") {
+      emit_tus = true;
+      if (!need("--emit-header-tus", tu_src) ||
+          !need("--emit-header-tus", tu_out)) {
+        return kExitUsage;
+      }
+    } else if (a == "--help" || a == "-h") {
+      out << "usage: parsemi_check --root DIR [--baseline FILE] "
+             "[--write-baseline FILE]\n"
+             "                     [--write-index FILE] [--format=text|json]\n"
+             "       parsemi_check --emit-header-tus SRC_DIR OUT_DIR\n"
+             "       parsemi_check FILE...\n"
+             "exit: 0 clean, 1 findings, 2 usage/IO, 3 baseline drift, "
+             "4 index error\n";
+      return kExitClean;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "parsemi_check: unknown flag '" << a << "'\n";
+      return kExitUsage;
+    } else {
+      explicit_files.push_back(a);
+    }
+  }
+
+  if (emit_tus) {
+    auto written = emit_header_tus(tu_src, tu_out);
+    for (const std::string& w : written) out << w << "\n";
+    return kExitClean;
+  }
+
+  std::vector<std::pair<std::string, std::string>> paths;  // rel, full
+  if (!root.empty()) {
+    for (const std::string& rel : discover_files(root)) {
+      paths.push_back({rel, root + "/" + rel});
+    }
+  }
+  for (const std::string& f : explicit_files) paths.push_back({f, f});
+  if (paths.empty()) {
+    err << "parsemi_check: nothing to lint (use --root or list files)\n";
+    return kExitUsage;
+  }
+
+  std::vector<source_file> files;
+  files.reserve(paths.size());
+  for (const auto& [rel, full] : paths) {
+    std::string text;
+    if (!read_file(full, text)) {
+      err << "parsemi_check: cannot read " << full << "\n";
+      return kExitUsage;
+    }
+    files.push_back({rel, std::move(text)});
+  }
+
+  project_analysis pa = analyze_project(files);
+  const std::vector<finding>& all = pa.result.findings;
+
+  if (!write_index_path.empty()) {
+    std::ofstream f(write_index_path, std::ios::binary);
+    if (!f) {
+      err << "parsemi_check: cannot write " << write_index_path << "\n";
+      return kExitUsage;
+    }
+    f << serialize_index(pa.index);
+  }
+
+  if (!pa.index.errors.empty()) {
+    for (const index_error& e : pa.index.errors) {
+      err << "index error: " << e.file << ": " << e.message << "\n";
+    }
+    if (format == "json") out << to_json(pa.result, files.size(),
+                                         pa.index.errors);
+    err << "parsemi_check: symbol index build failed; interprocedural "
+           "rules not run\n";
+    return kExitIndexError;
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream f(write_baseline_path, std::ios::binary);
+    if (!f) {
+      err << "parsemi_check: cannot write " << write_baseline_path << "\n";
+      return kExitUsage;
+    }
+    f << serialize_baseline(all);
+  }
+
+  int hard = 0, waived = 0;
+  for (const finding& f : all) {
+    if (f.waived) {
+      ++waived;
+      continue;
+    }
+    ++hard;
+    if (format == "text") {
+      err << f.file << ":" << f.line << ": [" << rule_name(f.r) << "] "
+          << f.message << "\n";
+    }
+  }
+
+  std::vector<std::string> drift;
+  if (!baseline_path.empty()) {
+    std::string btext;
+    if (!read_file(baseline_path, btext)) {
+      err << "parsemi_check: cannot read baseline " << baseline_path << "\n";
+      return kExitUsage;
+    }
+    drift = diff_baseline(btext, all);
+    for (const std::string& d : drift) {
+      err << "baseline drift: " << d << "\n";
+    }
+  }
+
+  if (format == "json") {
+    out << to_json(pa.result, files.size(), pa.index.errors);
+  }
+  err << "parsemi_check: " << files.size() << " file(s), " << hard
+      << " finding(s), " << waived << " waived"
+      << (baseline_path.empty()
+              ? ""
+              : drift.empty() ? ", baseline ok" : ", baseline DRIFT")
+      << "\n";
+  if (hard > 0) return kExitFindings;
+  if (!drift.empty()) return kExitBaselineDrift;
+  return kExitClean;
+}
+
+// ---- header self-sufficiency TUs ----------------------------------------
 
 std::vector<std::string> list_public_headers(const std::string& src_root) {
   namespace fs = std::filesystem;

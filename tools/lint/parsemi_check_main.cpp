@@ -1,143 +1,22 @@
-// parsemi_check CLI.
+// parsemi_check CLI — a thin shell over run_cli() (the whole CLI lives in
+// the library so the exit-code contract is unit-testable).
 //
 //   parsemi_check --root DIR [--baseline FILE]      lint the tree
 //   parsemi_check --root DIR --write-baseline FILE  regenerate the baseline
+//   parsemi_check --root DIR --write-index FILE     emit the symbol index
+//   parsemi_check --root DIR --format=json          machine-readable findings
 //   parsemi_check --emit-header-tus SRC OUT         write header selfcheck TUs
 //   parsemi_check FILE...                           lint specific files
 //
-// Exit status: 0 clean, 1 findings (or baseline drift), 2 usage/IO error.
+// Exit status: 0 clean, 1 findings, 2 usage/IO error, 3 baseline drift
+// only, 4 symbol-index build failure.
 #include "parsemi_check.h"
 
-#include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
-
-bool read_file(const std::string& path, std::string& out) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  out = ss.str();
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string root;
-  std::string baseline_path;
-  std::string write_baseline_path;
-  std::vector<std::string> explicit_files;
-  bool emit_tus = false;
-  std::string tu_src, tu_out;
-
-  for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "parsemi_check: " << flag << " needs an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--root") {
-      root = need("--root");
-    } else if (a == "--baseline") {
-      baseline_path = need("--baseline");
-    } else if (a == "--write-baseline") {
-      write_baseline_path = need("--write-baseline");
-    } else if (a == "--emit-header-tus") {
-      emit_tus = true;
-      tu_src = need("--emit-header-tus");
-      tu_out = need("--emit-header-tus");
-    } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: parsemi_check --root DIR [--baseline FILE] "
-                   "[--write-baseline FILE]\n"
-                   "       parsemi_check --emit-header-tus SRC_DIR OUT_DIR\n"
-                   "       parsemi_check FILE...\n";
-      return 0;
-    } else if (!a.empty() && a[0] == '-') {
-      std::cerr << "parsemi_check: unknown flag '" << a << "'\n";
-      return 2;
-    } else {
-      explicit_files.push_back(a);
-    }
-  }
-
-  if (emit_tus) {
-    auto written = parsemi_check::emit_header_tus(tu_src, tu_out);
-    for (const std::string& w : written) std::cout << w << "\n";
-    return 0;
-  }
-
-  std::vector<std::pair<std::string, std::string>> files;  // path, prefix
-  if (!root.empty()) {
-    for (const std::string& rel : parsemi_check::discover_files(root)) {
-      files.push_back({rel, root + "/" + rel});
-    }
-  }
-  for (const std::string& f : explicit_files) files.push_back({f, f});
-  if (files.empty()) {
-    std::cerr << "parsemi_check: nothing to lint (use --root or list files)\n";
-    return 2;
-  }
-
-  std::vector<parsemi_check::finding> all;
-  for (const auto& [rel, full] : files) {
-    std::string text;
-    if (!read_file(full, text)) {
-      std::cerr << "parsemi_check: cannot read " << full << "\n";
-      return 2;
-    }
-    parsemi_check::analysis a = parsemi_check::analyze_source(text, rel);
-    all.insert(all.end(), a.findings.begin(), a.findings.end());
-  }
-
-  if (!write_baseline_path.empty()) {
-    std::ofstream f(write_baseline_path, std::ios::binary);
-    if (!f) {
-      std::cerr << "parsemi_check: cannot write " << write_baseline_path
-                << "\n";
-      return 2;
-    }
-    f << parsemi_check::serialize_baseline(all);
-  }
-
-  int hard = 0, waived = 0;
-  for (const auto& f : all) {
-    if (f.waived) {
-      ++waived;
-      continue;
-    }
-    ++hard;
-    std::cerr << f.file << ":" << f.line << ": ["
-              << parsemi_check::rule_name(f.r) << "] " << f.message << "\n";
-  }
-
-  std::vector<std::string> drift;
-  if (!baseline_path.empty()) {
-    std::string btext;
-    if (!read_file(baseline_path, btext)) {
-      std::cerr << "parsemi_check: cannot read baseline " << baseline_path
-                << "\n";
-      return 2;
-    }
-    drift = parsemi_check::diff_baseline(btext, all);
-    for (const std::string& d : drift) {
-      std::cerr << "baseline drift: " << d << "\n";
-    }
-  }
-
-  std::cerr << "parsemi_check: " << files.size() << " file(s), " << hard
-            << " finding(s), " << waived << " waived"
-            << (baseline_path.empty()
-                    ? ""
-                    : drift.empty() ? ", baseline ok" : ", baseline DRIFT")
-            << "\n";
-  return (hard > 0 || !drift.empty()) ? 1 : 0;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return parsemi_check::run_cli(args, std::cout, std::cerr);
 }
