@@ -311,6 +311,26 @@ class bench_json {
         counting.field("passes", s.counting_passes);
       }
       field_object("counting", counting);
+      // The execution plan the run decided up front (core/exec_plan.h).
+      // Mirrors the flat legacy keys (scatter_path, dispatch_path,
+      // key_domain_width, shard.shards) as nested plan{} and adds the
+      // plan-only facts: probe accounting (the single-probe contract),
+      // reuse, the predicted bucket count, and the spill-overlap decision
+      // plus how many prefetches actually overlapped.
+      row plan_obj;
+      plan_obj.field("reused", s.plan.reused ? 1 : 0);
+      plan_obj.field("probe_passes", s.plan.probe_passes);
+      plan_obj.field("probe_records", s.plan.probe_records);
+      plan_obj.field("dispatch_path", std::string(to_string(s.plan.dispatch)));
+      plan_obj.field("scatter_path", std::string(to_string(s.plan.scatter)));
+      plan_obj.field("key_domain_width", s.plan.key_domain_width);
+      plan_obj.field("predicted_buckets", s.plan.predicted_buckets);
+      plan_obj.field("shards", s.plan.shards);
+      plan_obj.field("memory_budget", s.plan.memory_budget);
+      plan_obj.field("overlap_io", s.plan.overlap_io ? 1 : 0);
+      plan_obj.field("overlapped_prefetches", s.overlapped_prefetches);
+      plan_obj.field("pool_workers", s.plan.pool_workers);
+      field_object("plan", plan_obj);
       // Per-phase SIMD engagement (width contract in core/params.h) plus
       // the build's compile-time tier, so a sidecar records which kernels
       // the binary could and did run. Always emitted — the forced-scalar

@@ -14,6 +14,14 @@
 // under the budget (stats land in the `shard` sidecar object). Sequential
 // and scatter/pack baselines are skipped above --seqlimit records so the
 // large points do not spend hours in single-threaded baselines.
+//
+// --inplace switches the timed call to the in-place entry point (the input
+// is restored by a copy inside the timed region, identically in every
+// configuration). Under a budget this is the spill configuration — the
+// partition round-trips through an mmap-backed spill run — which is what
+// the overlapped-I/O comparison measures: run once with
+// PARSEMI_SHARD_OVERLAP=off as baseline and once =on as candidate, then
+// gate with scripts/bench_compare.py --overlap-baseline.
 #include "common.h"
 
 #include "shard/spill_file.h"
@@ -28,6 +36,7 @@ int main(int argc, char** argv) {
   size_t budget = args.get_bytes("budget", 0);  // 0 = unlimited / env
   size_t seq_limit =
       static_cast<size_t>(args.get_int("seqlimit", 50000000));
+  bool inplace = args.has("inplace");  // spill/overlap configuration
 
   std::vector<size_t> sizes;
   if (args.has("sizes")) {
@@ -94,7 +103,7 @@ int main(int argc, char** argv) {
       params.context = &ctx;
       params.memory_budget_bytes = budget;
       semisort_stats stats;
-      bool run_baselines = n <= seq_limit && !file_backed;
+      bool run_baselines = n <= seq_limit && !file_backed && !inplace;
 
       double seq = 0;
       if (run_baselines) {
@@ -106,10 +115,20 @@ int main(int argc, char** argv) {
       }
       set_num_workers(max_threads);
       params.stats = &stats;
-      double par = time_min(reps, [&] {
-        semisort_hashed(std::span<const record>(in), out, record_key{},
-                        params);
-      });
+      double par;
+      if (inplace) {
+        // Restore-then-sort inside the timed region: the copy is identical
+        // across overlap on/off runs, so it cancels in the comparison.
+        par = time_min(reps, [&] {
+          std::copy(in.begin(), in.end(), out.begin());
+          semisort_hashed_inplace(out, record_key{}, params);
+        });
+      } else {
+        par = time_min(reps, [&] {
+          semisort_hashed(std::span<const record>(in), out, record_key{},
+                          params);
+        });
+      }
       params.stats = nullptr;
       scatter_pack_times sp{0, 0};
       if (run_baselines) sp = time_scatter_pack(in_vec, reps);
@@ -128,6 +147,8 @@ int main(int argc, char** argv) {
                       .field("n", n)
                       .field("threads", max_threads)
                       .field("memory_budget", budget)
+                      .field("entry", inplace ? std::string("inplace")
+                                              : std::string("copy"))
                       .field("file_backed", static_cast<int>(file_backed))
                       .field("par_s", par);
       if (run_baselines) {

@@ -759,6 +759,218 @@ class CheckBreakdown(unittest.TestCase):
         self.assertFalse(ok)
 
 
+def make_plan_obj(reused=0, probe_passes=1, probe_records=1000,
+                  dispatch="general", scatter="cas", shards=1,
+                  overlap_io=0, overlapped=0):
+    return {
+        "reused": reused,
+        "probe_passes": probe_passes,
+        "probe_records": probe_records,
+        "dispatch_path": dispatch,
+        "scatter_path": scatter,
+        "key_domain_width": 0,
+        "predicted_buckets": 130,
+        "shards": shards,
+        "memory_budget": 0,
+        "overlap_io": overlap_io,
+        "overlapped_prefetches": overlapped,
+        "pool_workers": 4,
+    }
+
+
+def make_plan_doc(plans):
+    """A bench-nameless doc whose rows carry only plan{} objects — routed to
+    the scatter check, which they'd fail, so wrap them as valid scatter rows
+    with the plan attached."""
+    rows = []
+    for d in ("uniform",):
+        for p in sorted(bench_compare.EXPECTED_PATHS):
+            rows.append(make_row(dist=d, requested=p))
+    for row, plan in zip(rows, plans):
+        row["plan"] = plan
+        # Keep the flat/plan cross-check satisfiable by default.
+        row["scatter_path"] = plan.get("scatter_path", row["scatter_path"])
+    return {"rows": rows}
+
+
+def run_plan_check(doc):
+    err = io.StringIO()
+    with redirect_stdout(io.StringIO()), redirect_stderr(err):
+        ok = bench_compare.check_plan(doc)
+    return ok, err.getvalue()
+
+
+class CheckPlan(unittest.TestCase):
+    """The plan{} structural validator runs on every sidecar: rows without
+    a plan are skipped, planned rows must satisfy the single-probe and
+    shard/overlap accounting contracts."""
+
+    def test_rows_without_plan_are_skipped(self):
+        ok, err = run_plan_check(make_doc())
+        self.assertTrue(ok, err)
+
+    def test_well_formed_plan_passes(self):
+        doc = make_plan_doc([make_plan_obj()])
+        ok, err = run_plan_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_plan_check_runs_inside_check_dispatch(self):
+        # check() must run the plan validator on top of the bench gate.
+        doc = make_plan_doc([make_plan_obj(probe_passes=3)])
+        ok, err = run_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("single-probe", err)
+
+    def test_two_probe_passes_fail(self):
+        doc = make_plan_doc([make_plan_obj(probe_passes=2)])
+        ok, err = run_plan_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("single-probe", err)
+
+    def test_reused_plan_must_report_zero_probes(self):
+        doc = make_plan_doc([make_plan_obj(reused=1, probe_passes=1)])
+        ok, err = run_plan_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("reused", err)
+
+    def test_reused_plan_with_zero_probes_passes(self):
+        doc = make_plan_doc([make_plan_obj(reused=1, probe_passes=0,
+                                           probe_records=0)])
+        ok, err = run_plan_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_missing_key_fails(self):
+        for key in bench_compare.PLAN_REQUIRED_KEYS:
+            plan = make_plan_obj()
+            del plan[key]
+            ok, err = run_plan_check(make_plan_doc([plan]))
+            self.assertFalse(ok, key)
+            self.assertIn(key, err)
+
+    def test_unknown_paths_fail(self):
+        ok, err = run_plan_check(
+            make_plan_doc([make_plan_obj(scatter="warp_drive")]))
+        self.assertFalse(ok)
+        self.assertIn("warp_drive", err)
+        ok, err = run_plan_check(
+            make_plan_doc([make_plan_obj(dispatch="warp_drive")]))
+        self.assertFalse(ok)
+        self.assertIn("warp_drive", err)
+
+    def test_zero_shards_fail(self):
+        ok, err = run_plan_check(make_plan_doc([make_plan_obj(shards=0)]))
+        self.assertFalse(ok)
+        self.assertIn("shards", err)
+
+    def test_plan_shards_must_match_flat_shard_object(self):
+        doc = make_plan_doc([make_plan_obj(shards=4)])
+        doc["rows"][0]["shard"] = {"shards": 2}
+        ok, err = run_plan_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("shard.shards", err)
+
+    def test_overlapped_prefetches_require_the_overlap_decision(self):
+        doc = make_plan_doc([make_plan_obj(shards=4, overlap_io=0,
+                                           overlapped=3)])
+        ok, err = run_plan_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("overlap", err)
+
+    def test_overlapped_prefetches_capped_at_shards_minus_one(self):
+        doc = make_plan_doc([make_plan_obj(shards=4, overlap_io=1,
+                                           overlapped=4)])
+        ok, err = run_plan_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("exceed", err)
+
+    def test_valid_overlap_accounting_passes(self):
+        doc = make_plan_doc([make_plan_obj(shards=4, overlap_io=1,
+                                           overlapped=3)])
+        ok, err = run_plan_check(doc)
+        self.assertTrue(ok, err)
+
+    def test_executed_scatter_path_must_match_the_plan(self):
+        doc = make_plan_doc([make_plan_obj(scatter="blocked")])
+        doc["rows"][0]["scatter_path"] = "cas"
+        ok, err = run_plan_check(doc)
+        self.assertFalse(ok)
+        self.assertIn("differs from planned", err)
+
+
+def make_overlap_doc(par_s=1.0, shards=8, overlap_io=1, overlapped=None,
+                     with_plan=True):
+    if overlapped is None:
+        overlapped = shards - 1 if overlap_io else 0
+    row = make_scaling_row(n=100000000, budget=1 << 30, shards=shards,
+                           spilled=16 * 100000000, par_s=par_s)
+    if with_plan:
+        row["plan"] = make_plan_obj(shards=shards, overlap_io=overlap_io,
+                                    overlapped=overlapped)
+    return make_scaling_doc(rows=[make_scaling_row(n=1000000), row])
+
+
+def run_overlap_check(doc, baseline, **kwargs):
+    err = io.StringIO()
+    out = io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        ok = bench_compare.check_overlap_gate(doc, baseline, **kwargs)
+    return ok, err.getvalue() + out.getvalue()
+
+
+class CheckOverlapGate(unittest.TestCase):
+    """The spill-overlap perf gate: overlapped table4 runs must beat the
+    serialized baseline by the required margin on matching sharded rows."""
+
+    def test_sufficient_speedup_passes(self):
+        cand = make_overlap_doc(par_s=0.8)
+        base = make_overlap_doc(par_s=1.0, overlap_io=0)
+        ok, err = run_overlap_check(cand, base)
+        self.assertTrue(ok, err)
+
+    def test_insufficient_speedup_fails(self):
+        cand = make_overlap_doc(par_s=0.95)
+        base = make_overlap_doc(par_s=1.0, overlap_io=0)
+        ok, err = run_overlap_check(cand, base)
+        self.assertFalse(ok)
+        self.assertIn("faster", err)
+
+    def test_threshold_is_tunable(self):
+        cand = make_overlap_doc(par_s=0.95)
+        base = make_overlap_doc(par_s=1.0, overlap_io=0)
+        ok, err = run_overlap_check(cand, base, min_overlap_speedup=0.04)
+        self.assertTrue(ok, err)
+
+    def test_candidate_without_overlap_decision_fails(self):
+        cand = make_overlap_doc(par_s=0.8, overlap_io=0)
+        base = make_overlap_doc(par_s=1.0, overlap_io=0)
+        ok, err = run_overlap_check(cand, base)
+        self.assertFalse(ok)
+        self.assertIn("did not plan", err)
+
+    def test_candidate_without_prefetches_fails(self):
+        cand = make_overlap_doc(par_s=0.8, overlap_io=1, overlapped=0)
+        base = make_overlap_doc(par_s=1.0, overlap_io=0)
+        ok, err = run_overlap_check(cand, base)
+        self.assertFalse(ok)
+        self.assertIn("no overlapped prefetch", err)
+
+    def test_no_matching_sharded_rows_fails(self):
+        cand = make_overlap_doc(par_s=0.8)
+        base = make_scaling_doc(rows=[make_scaling_row(n=1000000)])
+        ok, err = run_overlap_check(cand, base)
+        self.assertFalse(ok)
+        self.assertIn("no sharded", err)
+
+    def test_gate_reached_through_check(self):
+        cand = make_overlap_doc(par_s=0.95)
+        base = make_overlap_doc(par_s=1.0, overlap_io=0)
+        err = io.StringIO()
+        with redirect_stdout(io.StringIO()), redirect_stderr(err):
+            ok = bench_compare.check(cand, overlap_baseline=base)
+        self.assertFalse(ok)
+        self.assertIn("faster", err.getvalue())
+
+
 class CliJsonStrictness(unittest.TestCase):
     """End-to-end over the CLI: --json files with hostile content."""
 

@@ -32,16 +32,14 @@ std::vector<std::pair<K, V>> collect_reduce(
   size_t n = pairs.size();
   if (n == 0) return {};
   std::vector<std::pair<K, V>> out;
-  internal::run_with_pool_override(params, [&] {
-    internal::context_binding bind(params);
+  internal::operator_frame_keep_stats(params, [&](pipeline_context& ctx) {
     auto eq_at = [&](uint64_t a, uint64_t b) {
       return eq(pairs[a].first, pairs[b].first);
     };
     std::span<internal::key_tag> sorted = internal::tag_semisort(
-        n, [&](size_t i) { return hash(pairs[i].first); }, params, bind.ctx());
-    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-    std::span<size_t> starts =
-        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+        n, [&](size_t i) { return hash(pairs[i].first); }, params, ctx);
+    internal::repair_hash_collisions(sorted, eq_at, ctx);
+    std::span<size_t> starts = internal::tag_group_starts(sorted, ctx, eq_at);
     size_t k = starts.size();
     out.resize(k);
     parallel_for(
@@ -54,7 +52,6 @@ std::vector<std::pair<K, V>> collect_reduce(
           out[g] = {pairs[sorted[lo].index].first, acc};
         },
         1);
-    bind.finalize(params.stats);
   });
   return out;
 }
@@ -73,26 +70,22 @@ std::vector<std::pair<K, size_t>> count_by_key(
   size_t n = keys.size();
   if (n == 0) return {};
   std::vector<std::pair<K, size_t>> out;
-  internal::run_with_pool_override(params, [&] {
-    if (params.stats != nullptr) *params.stats = {};
-    internal::context_binding bind(params);
+  internal::operator_frame(params, [&](pipeline_context& ctx) {
     // The offsets path counts exact key values, so it requires integral
     // keys compared by value — a custom Eq could identify keys the
     // histogram would count apart.
     if constexpr (std::is_integral_v<K> &&
                   (std::is_same_v<Eq, std::equal_to<>> ||
                    std::is_same_v<Eq, std::equal_to<K>>)) {
-      if (internal::try_dispatch_count_by_key(keys, out, params, bind.ctx())) {
-        bind.finalize(params.stats);
+      if (internal::try_dispatch_count_by_key(keys, out, params, ctx)) {
         return;
       }
     }
     auto eq_at = [&](uint64_t a, uint64_t b) { return eq(keys[a], keys[b]); };
     std::span<internal::key_tag> sorted = internal::tag_semisort(
-        n, [&](size_t i) { return hash(keys[i]); }, params, bind.ctx());
-    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-    std::span<size_t> starts =
-        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+        n, [&](size_t i) { return hash(keys[i]); }, params, ctx);
+    internal::repair_hash_collisions(sorted, eq_at, ctx);
+    std::span<size_t> starts = internal::tag_group_starts(sorted, ctx, eq_at);
     size_t k = starts.size();
     out.resize(k);
     parallel_for(
@@ -102,7 +95,6 @@ std::vector<std::pair<K, size_t>> count_by_key(
           out[g] = {keys[sorted[lo].index], hi - lo};
         },
         1);
-    bind.finalize(params.stats);
   });
   return out;
 }

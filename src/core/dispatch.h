@@ -24,6 +24,14 @@
 // falls back to the general pipeline — recorded as general with
 // key_domain_width == 0, never a wrong answer.
 //
+// Since the plan/execute split (ISSUE 10) the probe and the decision for
+// semisort calls live in the planner (core/planner.h); this header
+// provides the counting kernels the executor invokes with the plan's
+// accepted domain, plus the self-contained result-shape hooks
+// (count_by_key / group_by_index below), which still probe at their call
+// sites because their result shapes never reach the record-moving
+// pipeline.
+//
 // All scratch is arena-backed through the call's pipeline_context; the
 // fast paths uphold the zero-warm-heap-allocation contract the general
 // pipeline established (tests/alloc_regression_test.cpp).
@@ -253,34 +261,6 @@ void unstable_counting_semisort(std::span<const Record> in,
     st.key_domain_width = static_cast<size_t>(dom.width);
     st.counting_passes = 1;
   }
-}
-
-// Front-end hook for semisort_hashed / semisort_hashed_inplace, called
-// after context binding: resolves the strategy, probes the key domain, and
-// runs a counting kernel when both agree. Returns true when the call was
-// fully handled (output written, stats recorded). A false return means the
-// general pipeline must run; the probe's rejection is visible in stats as
-// key_domain_width == 0.
-template <typename Record, typename GetKey>
-bool try_dispatch_semisort(std::span<const Record> in, std::span<Record> out,
-                           GetKey&& get_key, const semisort_params& params,
-                           bool aliased, pipeline_context& ctx) {
-  using strategy = semisort_params::dispatch_strategy;
-  strategy s = resolve_dispatch_strategy(params);
-  if (s == strategy::general) return false;
-  key_domain dom = probe_key_domain(
-      in.size(), [&](size_t i) { return get_key(in[i]); }, ctx);
-  if (params.stats != nullptr) {
-    params.stats->key_domain_width =
-        dom.dense ? static_cast<size_t>(dom.width) : 0;
-  }
-  if (!dom.dense) return false;
-  if (s == strategy::unstable) {
-    unstable_counting_semisort(in, out, get_key, dom, params, aliased, ctx);
-  } else {
-    counting_semisort(in, out, get_key, dom, params, aliased, ctx);
-  }
-  return true;
 }
 
 // Offset-only count_by_key (the `offsets` result shape): a pure histogram

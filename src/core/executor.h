@@ -1,0 +1,407 @@
+// The executor — runs a semisort_plan (core/exec_plan.h) without
+// re-deciding anything: the dispatch path, scatter path, shard layout, and
+// overlap choice all come from the plan the planner (core/planner.h)
+// built. This header also owns the one call frame every entry point and
+// derived operator shares:
+//
+//   * context_binding — resolves the pipeline_context, owns the per-call
+//     arena frame and accounting for the outermost call on that context.
+//   * run_with_pool_override — ships a call onto params.pool when the
+//     calling thread is foreign to it.
+//   * operator_frame — the two combined plus the stats reset: the thin
+//     plan-then-execute prologue all derived operators (group_by,
+//     collect_reduce, mapreduce, relational, tag_semisort) call instead of
+//     keeping their own copies of this glue.
+//
+// Plan validation: a reused plan (semisort_params::plan) is checked
+// against the call's (n, record_bytes, params fingerprint) binding —
+// std::invalid_argument on a mismatch — and executed with zero probe
+// passes and zero heap allocations on a warm context.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "core/bucket_plan.h"
+#include "core/dispatch.h"
+#include "core/exec_plan.h"
+#include "core/local_sort.h"
+#include "core/pack_phase.h"
+#include "core/params.h"
+#include "core/pipeline_context.h"
+#include "core/planner.h"
+#include "core/sampler.h"
+#include "core/scatter.h"
+#include "primitives/merge.h"
+#include "sort/radix_sort.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace parsemi {
+namespace internal {
+
+// Resolves the pipeline_context a call runs on — params.context, else a
+// stack-local one — and owns the per-call arena frame and accounting for
+// the outermost call on that context (derived operators re-enter with the
+// same context; only the outermost frame marks/rewinds the arena base and
+// publishes the memory plan to stats via finalize()).
+class context_binding {
+ public:
+  explicit context_binding(const semisort_params& params) {
+    if (params.context != nullptr) {
+      ctx_ = params.context;
+    } else {
+      local_.emplace();
+      ctx_ = &*local_;
+    }
+    owner_ = (ctx_->depth++ == 0);
+    if (owner_) {
+      base_ = ctx_->scratch.mark();
+      ctx_->scratch.reset_high_water();
+      alloc_snap_ = ctx_->scratch.alloc_count();
+      ctx_->timings = params.timings;
+      ctx_->stats = params.stats;
+      // Bind the executing pool for the whole call (worker-partitioned
+      // scratch sizes itself from this) and snapshot the thread's fallback
+      // counter / job accounting so finalize() can attribute this call's
+      // share to its stats.
+      prev_pool_ = ctx_->pool;
+      ctx_->pool =
+          params.pool != nullptr ? params.pool : &worker_pool::resolve();
+      fallback_snap_ = tl_sequential_fallbacks;
+      acct_ = tl_job_acct;
+    }
+  }
+
+  ~context_binding() {
+    if (owner_) {
+      ctx_->scratch.rewind(base_);
+      ctx_->timings = nullptr;
+      ctx_->stats = nullptr;
+      ctx_->pool = prev_pool_;
+    }
+    ctx_->depth--;
+  }
+
+  context_binding(const context_binding&) = delete;
+  context_binding& operator=(const context_binding&) = delete;
+
+  pipeline_context& ctx() { return *ctx_; }
+
+  // Publishes the call's memory plan into `stats` (outermost frame only —
+  // a derived operator's numbers cover its tag arrays plus the inner
+  // semisort, not the inner call alone).
+  void finalize(semisort_stats* stats) {
+    if (owner_ && stats != nullptr) {
+      stats->peak_scratch_bytes = ctx_->scratch.high_water_bytes();
+      stats->arena_allocs = ctx_->scratch.alloc_count() - alloc_snap_;
+      stats->scratch_capacity_bytes = ctx_->scratch.capacity_bytes();
+      stats->sequential_fallbacks = tl_sequential_fallbacks - fallback_snap_;
+      if (acct_ != nullptr) {
+        stats->job_steals = acct_->steals.load(std::memory_order_relaxed);
+        stats->job_queue_wait_ns = acct_->queue_wait_ns;
+      }
+    }
+  }
+
+ private:
+  std::optional<pipeline_context> local_;
+  pipeline_context* ctx_ = nullptr;
+  worker_pool* prev_pool_ = nullptr;
+  job_accounting* acct_ = nullptr;
+  arena::checkpoint base_;
+  size_t alloc_snap_ = 0;
+  uint64_t fallback_snap_ = 0;
+  bool owner_ = false;
+};
+
+// Ships a whole operator call onto `params.pool` when the calling thread
+// is foreign to that pool, so the pipeline runs with the pool's full
+// parallelism instead of the counted sequential fallback. Pool members —
+// and calls without an override — run inline.
+template <typename Fn>
+auto run_with_pool_override(const semisort_params& params, Fn&& fn) {
+  using R = std::invoke_result_t<Fn&>;
+  if (params.pool == nullptr || params.pool->contains_current_thread()) {
+    return fn();
+  }
+  if constexpr (std::is_void_v<R>) {
+    params.pool->run([&] { fn(); });
+    return;
+  } else {
+    std::optional<R> result;
+    params.pool->run([&] { result.emplace(fn()); });
+    return std::move(*result);
+  }
+}
+
+// The call frame every derived operator shares: pool routing, stats
+// reset, context binding, body, memory-plan publication. `fn` receives the
+// bound pipeline_context; nested semisort calls inside it should pass
+// `inner.context = &ctx` so the whole operator runs on one arena frame.
+template <typename Fn>
+void operator_frame(const semisort_params& params, Fn&& fn) {
+  run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
+    context_binding bind(params);
+    fn(bind.ctx());
+    bind.finalize(params.stats);
+  });
+}
+
+// Same frame without the stats reset — for operators whose caller already
+// reset stats, or that fill stats fields before entering the frame.
+template <typename Fn>
+void operator_frame_keep_stats(const semisort_params& params, Fn&& fn) {
+  run_with_pool_override(params, [&] {
+    context_binding bind(params);
+    fn(bind.ctx());
+    bind.finalize(params.stats);
+  });
+}
+
+// Rejects a cached plan that was built for a different call shape. The
+// checks are pure arithmetic — the success path allocates nothing, so
+// plan reuse keeps the zero-warm-heap contract.
+inline void validate_plan_binding(const semisort_plan& plan, size_t n,
+                                  size_t record_bytes,
+                                  const semisort_params& params,
+                                  const char* who) {
+  if (plan.n != n || plan.record_bytes != record_bytes ||
+      plan.params_fingerprint != fingerprint_params(params)) {
+    throw std::invalid_argument(
+        std::string("parsemi::") + who +
+        ": cached plan does not match this call (plan bound to n=" +
+        std::to_string(plan.n) + ", record_bytes=" +
+        std::to_string(plan.record_bytes) + ")");
+  }
+}
+
+// Copies the plan's decisions into the stats' nested plan{} summary. A
+// reused plan reports zero probe passes — the reuse performed none; what
+// the original planning cost is the plan's own business.
+inline void publish_plan(semisort_stats* stats, const semisort_plan& plan,
+                         bool reused) {
+  if (stats == nullptr) return;
+  plan_summary& ps = stats->plan;
+  ps.reused = reused;
+  ps.probe_passes = reused ? 0 : plan.probe_passes;
+  ps.probe_records = reused ? 0 : plan.probe_records;
+  ps.dispatch = plan.dispatch;
+  ps.scatter = plan.scatter;
+  ps.key_domain_width =
+      plan.domain_dense ? static_cast<size_t>(plan.domain_width) : 0;
+  ps.predicted_buckets = plan.predicted_buckets;
+  ps.shards = plan.num_shards();
+  ps.memory_budget = plan.memory_budget;
+  ps.overlap_io = plan.overlap_io;
+  ps.pool_workers = plan.pool_workers;
+  // The flat legacy field mirrors the probe outcome exactly as the old
+  // inline dispatch did: width when the domain was accepted, 0 when it
+  // was rejected or the probe never ran.
+  stats->key_domain_width = ps.key_domain_width;
+}
+
+// One Las-Vegas attempt of the paper's five-phase pipeline. The scatter
+// path comes pinned from the plan — the attempt decides nothing.
+template <typename Record, typename GetKey>
+bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
+                      GetKey get_key, const semisort_params& params,
+                      scatter_path path, double alpha, uint64_t attempt_salt,
+                      pipeline_context& ctx) {
+  size_t n = in.size();
+  arena_scope attempt_frame(ctx.scratch);
+  ctx.base = rng(splitmix64(params.seed + 0x9e3779b9ULL * attempt_salt));
+  rng& base = ctx.base;
+  phase_timer* pt = params.timings;
+  if (pt != nullptr) pt->start();
+
+  // Phase 1 — sample and sort.
+  std::span<uint64_t> sample =
+      sample_keys(in, get_key, params.sampling_p, base.split(1), ctx);
+  switch (params.sample_sort_with) {
+    case semisort_params::sample_sorter::radix:
+      internal::radix_sort_sample(sample, ctx.scratch);
+      break;
+    case semisort_params::sample_sorter::merge_sort:
+      parallel_merge_sort(sample);
+      break;
+    case semisort_params::sample_sorter::std_sort:
+      std::sort(sample.begin(), sample.end());
+      break;
+  }
+  if (pt != nullptr) pt->record("sample and sort");
+
+  // Phase 2 — construct buckets.
+  bucket_plan plan = build_bucket_plan(std::span<const uint64_t>(sample), n,
+                                       params, alpha, ctx);
+  if (pt != nullptr) pt->record("construct buckets");
+
+  // Phase 3 — scatter (path pinned by the plan; see core/planner.h).
+  scatter_storage<Record> storage(plan.total_slots, base.split(2).next() | 1,
+                                  &ctx);
+  scatter_telemetry telem;
+  scatter_result result = scatter_dispatch(
+      path, in, storage, plan, get_key, params, base.split(3), ctx,
+      params.stats != nullptr ? &telem : nullptr);
+  if (pt != nullptr) pt->record("scatter");
+  if (result != scatter_result::ok) return false;
+
+  // Phase 4 — local sort.
+  std::span<size_t> light_counts(ctx.scratch.alloc<size_t>(plan.num_light),
+                                 plan.num_light);
+  std::atomic<bool> local_kernel_used{false};
+  // The buffered and blocked paths fill each bucket front-to-back, so the
+  // local sort can treat occupancy as a prefix and skip the hole sweep.
+  local_sort_light_buckets(
+      storage, plan, get_key, params, light_counts,
+      params.stats != nullptr ? &local_kernel_used : nullptr,
+      /*dense_storage=*/path != scatter_path::cas);
+  if (pt != nullptr) pt->record("local sort");
+
+  // Stats are gathered before the pack so that `out` may alias `in`
+  // (the in-place entry point): every input record already lives in
+  // `storage`, and nothing below reads `in` again.
+  if (params.stats != nullptr) {
+    semisort_stats& st = *params.stats;
+    st.n = n;
+    st.sample_size = sample.size();
+    st.num_heavy_keys = plan.num_heavy;
+    st.num_light_buckets = plan.num_light;
+    st.total_slots = plan.total_slots;
+    st.heavy_slots = plan.heavy_slots_end;
+    size_t blocks = internal::scan_num_blocks(n);
+    std::span<size_t> sums(ctx.scratch.alloc<size_t>(blocks), blocks);
+    st.heavy_records =
+        plan.num_heavy == 0
+            ? 0
+            : reduce_index<size_t>(
+                  n,
+                  [&](size_t i) -> size_t {
+                    return plan.heavy_table->contains(get_key(in[i])) ? 1 : 0;
+                  },
+                  0, sums);
+    // Path-conditional telemetry: the probe histogram only means something
+    // on the CAS path, the flush counters only on the buffered path; the
+    // blocked path's whole point is issuing zero placement atomics.
+    st.scatter_path_used = path;
+    switch (path) {
+      case scatter_path::cas:
+        for (size_t b = 0; b < semisort_stats::kProbeBins; ++b)
+          st.probe_hist[b] =
+              telem.probe.bins[b].load(std::memory_order_relaxed);
+        st.max_probe = telem.probe.max.load(std::memory_order_relaxed);
+        break;
+      case scatter_path::buffered:
+        st.scatter_flushes = telem.flushes.load(std::memory_order_relaxed);
+        st.scatter_chunk_claims =
+            telem.chunk_claims.load(std::memory_order_relaxed);
+        st.scatter_bytes_staged =
+            telem.bytes_staged.load(std::memory_order_relaxed);
+        for (size_t b = 0; b < semisort_stats::kFlushBins; ++b)
+          st.flush_hist[b] =
+              telem.flush_hist[b].load(std::memory_order_relaxed);
+        st.scatter_atomics_saved = n - st.scatter_chunk_claims;
+        break;
+      case scatter_path::blocked:
+        st.scatter_atomics_saved = n;  // placement issued no atomics
+        break;
+    }
+    // Per-phase SIMD engagement (width contract documented in params.h:
+    // 256/128 vector tier, 64 scalar tier, 0 no accelerated kernel on the
+    // path this run took).
+    st.simd_hash_width = sample.size() > 0 ? simd::kWidthBits : 0;
+    switch (path) {
+      case scatter_path::cas:
+        st.simd_scatter_width =
+            scatter_storage<Record>::kKeyCas
+                ? ((simd::kEnabled && !simd::kTsan)
+                       ? simd::probe_width<sizeof(Record)>()
+                       : 64)
+                : 0;
+        break;
+      case scatter_path::buffered:
+        st.simd_scatter_width = simd::kWidthBits;  // run_len_u32 flush scan
+        break;
+      case scatter_path::blocked:
+        st.simd_scatter_width = 0;  // two-pass counting: no scan kernel
+        break;
+    }
+    st.simd_local_sort_width =
+        local_kernel_used.load(std::memory_order_relaxed) ? simd::kWidthBits
+                                                          : 0;
+    st.simd_pack_width =
+        std::is_trivially_copyable_v<Record> ? simd::kWidthBits : 0;
+  }
+
+  // Phase 5 — pack.
+  size_t written = pack_output(storage, plan,
+                               std::span<const size_t>(light_counts), out,
+                               params, ctx);
+  if (pt != nullptr) pt->record("pack");
+  if (written != n) {
+    // Every record was claimed exactly once, so this can only mean a bug.
+    throw std::logic_error("parsemi::semisort: packed " +
+                           std::to_string(written) + " of " +
+                           std::to_string(n) + " records");
+  }
+  return true;
+}
+
+// Out-of-core execution of a sharded plan (shard/shard_driver.h, included
+// at the bottom of core/semisort.h — the tag_semisort arrangement).
+template <typename Record, typename GetKey>
+void execute_sharded_plan(std::span<const Record> in, std::span<Record> out,
+                          GetKey get_key, const semisort_params& params,
+                          const semisort_plan& plan, bool aliased,
+                          const char* who);
+
+// Runs an in-memory (unsharded) plan inside an already-bound frame:
+// counting kernels when the plan accepted a dense domain, the Las-Vegas
+// attempt loop with the plan's pinned scatter path otherwise.
+template <typename Record, typename GetKey>
+void execute_in_memory_plan(std::span<const Record> in, std::span<Record> out,
+                            GetKey get_key, const semisort_params& params,
+                            const semisort_plan& plan, bool aliased,
+                            const char* who, context_binding& bind) {
+  if (params.stats != nullptr) params.stats->shards = 1;
+  if (plan.dispatch == dispatch_path::counting ||
+      plan.dispatch == dispatch_path::unstable) {
+    key_domain dom;
+    dom.dense = true;
+    dom.min = plan.domain_min;
+    dom.width = plan.domain_width;
+    if (plan.dispatch == dispatch_path::unstable) {
+      unstable_counting_semisort(in, out, get_key, dom, params, aliased,
+                                 bind.ctx());
+    } else {
+      counting_semisort(in, out, get_key, dom, params, aliased, bind.ctx());
+    }
+    bind.finalize(params.stats);
+    return;
+  }
+  double alpha = params.alpha;
+  for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+    if (params.timings != nullptr && attempt > 0) params.timings->clear();
+    if (semisort_attempt(in, out, get_key, params, plan.scatter, alpha,
+                         static_cast<uint64_t>(attempt), bind.ctx())) {
+      if (params.stats != nullptr) params.stats->restarts = attempt;
+      bind.finalize(params.stats);
+      return;
+    }
+    alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
+  }
+  throw std::runtime_error(std::string("parsemi::") + who +
+                           ": bucket overflow persisted after retries");
+}
+
+}  // namespace internal
+}  // namespace parsemi

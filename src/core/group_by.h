@@ -104,27 +104,23 @@ grouped_indices group_by_index(std::span<const Record> in, GetKey get_key = {},
   size_t n = in.size();
   grouped_indices result;
   if (n == 0) return result;
-  internal::run_with_pool_override(params, [&] {
-    if (params.stats != nullptr) *params.stats = {};
-    internal::context_binding bind(params);
+  internal::operator_frame(params, [&](pipeline_context& ctx) {
     // Dense integer keys: counting-sort the indices directly
     // (core/dispatch.h) — same never-move-the-records contract, no tags.
     if (internal::try_dispatch_group_by_index(in, get_key, params, result,
-                                              bind.ctx())) {
-      bind.finalize(params.stats);
+                                              ctx)) {
       return;
     }
     std::span<internal::key_tag> sorted = internal::tag_semisort(
-        n, [&](size_t i) { return get_key(in[i]); }, params, bind.ctx());
-    std::span<size_t> starts = internal::tag_group_starts(
-        sorted, bind.ctx(), internal::tag_eq_trivial);
+        n, [&](size_t i) { return get_key(in[i]); }, params, ctx);
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, ctx, internal::tag_eq_trivial);
     result.order.resize(n);
     parallel_for(0, n, [&](size_t i) {
       result.order[i] = static_cast<size_t>(sorted[i].index);
     });
     result.group_start.assign(starts.begin(), starts.end());
     result.group_start.push_back(n);
-    bind.finalize(params.stats);
   });
   return result;
 }
@@ -138,22 +134,19 @@ grouped<T> group_by(std::span<const T> in, KeyFn key_of, HashFn hash,
   size_t n = in.size();
   grouped<T> result;
   if (n == 0) return result;
-  internal::run_with_pool_override(params, [&] {
-    internal::context_binding bind(params);
+  internal::operator_frame_keep_stats(params, [&](pipeline_context& ctx) {
     auto eq_at = [&](uint64_t a, uint64_t b) {
       return eq(key_of(in[a]), key_of(in[b]));
     };
     std::span<internal::key_tag> sorted = internal::tag_semisort(
-        n, [&](size_t i) { return hash(key_of(in[i])); }, params, bind.ctx());
-    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-    std::span<size_t> starts =
-        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
+        n, [&](size_t i) { return hash(key_of(in[i])); }, params, ctx);
+    internal::repair_hash_collisions(sorted, eq_at, ctx);
+    std::span<size_t> starts = internal::tag_group_starts(sorted, ctx, eq_at);
     result.records.resize(n);
     parallel_for(0, n,
                  [&](size_t i) { result.records[i] = in[sorted[i].index]; });
     result.group_start.assign(starts.begin(), starts.end());
     result.group_start.push_back(n);
-    bind.finalize(params.stats);
   });
   return result;
 }

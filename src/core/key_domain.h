@@ -82,9 +82,14 @@ inline bool counting_domain_eligible(size_t n, uint64_t span) {
 }
 
 // Exact two-stage min/max probe; key_at(i) must already be ordered-u64.
+// `records_read` (optional) receives how many records the probe actually
+// touched — the prefix length on a stage-1 reject, n otherwise — which is
+// what the planner's probe accounting (core/planner.h) reports.
 template <typename KeyAt>
-key_domain probe_key_domain(size_t n, KeyAt&& key_at, pipeline_context& ctx) {
+key_domain probe_key_domain(size_t n, KeyAt&& key_at, pipeline_context& ctx,
+                            size_t* records_read = nullptr) {
   key_domain d;
+  if (records_read != nullptr) *records_read = n;
   if (n == 0) return d;
   // Stage 1: sequential prefix — conservative early reject only.
   uint64_t mn = key_at(0), mx = mn;
@@ -94,7 +99,10 @@ key_domain probe_key_domain(size_t n, KeyAt&& key_at, pipeline_context& ctx) {
     mn = k < mn ? k : mn;
     mx = k > mx ? k : mx;
   }
-  if (!counting_domain_eligible(n, mx - mn)) return d;
+  if (!counting_domain_eligible(n, mx - mn)) {
+    if (records_read != nullptr) *records_read = prefix;
+    return d;
+  }
   // Stage 2: exact full-input min/max (acceptance must be exact — bucket
   // indices are key − min and the bucket count is max − min + 1).
   if (n > prefix) {

@@ -69,30 +69,31 @@ std::vector<std::pair<K, Acc>> map_reduce(std::span<const Input> inputs,
         1);
     if (total == 0) return;
 
-    // Shuffle + reduce on the tag spine.
-    internal::context_binding bind(params);
-    auto eq_at = [&](uint64_t a, uint64_t b) {
-      return eq(pairs[a].first, pairs[b].first);
-    };
-    std::span<internal::key_tag> sorted = internal::tag_semisort(
-        total, [&](size_t i) { return hash(pairs[i].first); }, params,
-        bind.ctx());
-    internal::repair_hash_collisions(sorted, eq_at, bind.ctx());
-    std::span<size_t> starts =
-        internal::tag_group_starts(sorted, bind.ctx(), eq_at);
-    size_t k = starts.size();
-    out.resize(k);
-    parallel_for(
-        0, k,
-        [&](size_t g) {
-          size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : total;
-          Acc acc = init;
-          for (size_t i = lo; i < hi; ++i)
-            acc = reduce_fn(std::move(acc), pairs[sorted[i].index].second);
-          out[g] = {pairs[sorted[lo].index].first, std::move(acc)};
-        },
-        1);
-    bind.finalize(params.stats);
+    // Shuffle + reduce on the tag spine. The frame's own pool routing is a
+    // no-op here (we already run on the pool), so this is just the binding
+    // plus memory-plan publication.
+    internal::operator_frame_keep_stats(params, [&](pipeline_context& ctx) {
+      auto eq_at = [&](uint64_t a, uint64_t b) {
+        return eq(pairs[a].first, pairs[b].first);
+      };
+      std::span<internal::key_tag> sorted = internal::tag_semisort(
+          total, [&](size_t i) { return hash(pairs[i].first); }, params, ctx);
+      internal::repair_hash_collisions(sorted, eq_at, ctx);
+      std::span<size_t> starts =
+          internal::tag_group_starts(sorted, ctx, eq_at);
+      size_t k = starts.size();
+      out.resize(k);
+      parallel_for(
+          0, k,
+          [&](size_t g) {
+            size_t lo = starts[g], hi = g + 1 < k ? starts[g + 1] : total;
+            Acc acc = init;
+            for (size_t i = lo; i < hi; ++i)
+              acc = reduce_fn(std::move(acc), pairs[sorted[i].index].second);
+            out[g] = {pairs[sorted[lo].index].first, std::move(acc)};
+          },
+          1);
+    });
   });
   return out;
 }

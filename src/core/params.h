@@ -20,6 +20,7 @@
 namespace parsemi {
 
 class worker_pool;  // scheduler/scheduler.h
+struct semisort_plan;  // core/exec_plan.h
 
 // The Phase 3 placement strategy a run actually executed (core/scatter.h):
 //   cas      — one CAS + probe per record (the paper's §4 scatter)
@@ -62,6 +63,27 @@ inline const char* to_string(dispatch_path p) {
   }
   return "?";
 }
+
+// Summary of the execution plan a call ran under (core/exec_plan.h),
+// surfaced verbatim in semisort_stats and every bench sidecar's nested
+// plan{} object. The flat legacy fields (scatter_path_used,
+// dispatch_path_used, key_domain_width, shards) stay populated by the
+// execution itself; this block records what was *decided* and what the
+// decision cost (probe passes), which is how the single-probe contract
+// and plan reuse are observable.
+struct plan_summary {
+  bool reused = false;        // came in via semisort_params::plan
+  size_t probe_passes = 0;    // input scans the planner performed (≤ 1)
+  size_t probe_records = 0;   // records those scans read
+  dispatch_path dispatch = dispatch_path::general;
+  scatter_path scatter = scatter_path::cas;
+  size_t key_domain_width = 0;
+  size_t predicted_buckets = 0;
+  size_t shards = 1;
+  size_t memory_budget = 0;   // resolved bytes; 0 = unlimited
+  bool overlap_io = false;
+  int pool_workers = 0;
+};
 
 // Counters filled by a semisort run when requested — benches use these for
 // the "% heavy records" columns of Table 1 / Figure 1 and for memory
@@ -152,6 +174,13 @@ struct semisort_stats {
   size_t shards = 0;
   size_t spilled_bytes = 0;
   size_t shard_peak_scratch_bytes = 0;
+  // Spill-run prefetches the driver overlapped with shard compute on the
+  // dedicated I/O pool (0 when the plan ran overlap off or nothing
+  // spilled).
+  size_t overlapped_prefetches = 0;
+
+  // --- the execution plan this call ran under (core/exec_plan.h) ---
+  plan_summary plan;
 
   // --- per-phase SIMD engagement (util/simd.h) ---
   // Width in bits the phase's accelerated kernel ran at: 256/128 ⇒ a vector
@@ -259,6 +288,16 @@ struct semisort_params {
   enum class dispatch_strategy : uint8_t { adaptive, general, counting, unstable };
   dispatch_strategy dispatch_with = dispatch_strategy::adaptive;
 
+  // Out-of-core spill-I/O overlap (shard/shard_driver.h): `adaptive` lets
+  // the planner enable the dedicated I/O pool whenever the call spills
+  // across ≥ 2 shards, `on` / `off` pin the decision. The
+  // PARSEMI_SHARD_OVERLAP environment variable (on / off / adaptive)
+  // overrides this knob, mirroring the scatter/dispatch precedents. The
+  // decision lands in the plan (semisort_plan::overlap_io), never inline
+  // in the driver.
+  enum class overlap_strategy : uint8_t { adaptive, on, off };
+  overlap_strategy shard_overlap = overlap_strategy::adaptive;
+
   size_t pack_intervals = 1000;     // §4 Phase 5 heavy-region pack intervals
 
   // --- robustness / bookkeeping ---
@@ -275,6 +314,15 @@ struct semisort_params {
   size_t memory_budget_bytes = 0;
   phase_timer* timings = nullptr;   // optional per-phase breakdown
   semisort_stats* stats = nullptr;  // optional counters
+  // Cached execution plan (core/exec_plan.h): when set, the call skips
+  // every planner probe and executes this plan as-is — zero re-probe and
+  // zero heap allocations on a warm context. The executor validates the
+  // plan's (n, record_bytes, params fingerprint) binding and throws
+  // std::invalid_argument on a mismatch; the key-domain and shard-layout
+  // decisions inside the plan describe the *planned* input's keys, so
+  // reuse it only for inputs drawn from the same key population. Build one
+  // with plan_semisort_hashed (core/semisort.h).
+  const semisort_plan* plan = nullptr;
   pipeline_context* context = nullptr;  // optional reusable scratch + rng
                                     // spine (core/pipeline_context.h);
                                     // reuse across calls for zero-alloc

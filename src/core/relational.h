@@ -48,9 +48,8 @@ std::vector<join_row> equi_join(std::span<const LeftRecord> left,
   size_t n = nl + nr;
   if (n == 0) return {};
   std::vector<join_row> out;
-  internal::run_with_pool_override(params, [&] {
-    internal::context_binding bind(params);
-    arena& scratch = bind.ctx().scratch;
+  internal::operator_frame_keep_stats(params, [&](pipeline_context& ctx) {
+    arena& scratch = ctx.scratch;
 
     // Tag positions 0..nl-1 are left rows, nl..n-1 are right rows.
     std::span<internal::key_tag> sorted = internal::tag_semisort(
@@ -58,9 +57,9 @@ std::vector<join_row> equi_join(std::span<const LeftRecord> left,
         [&](size_t i) {
           return i < nl ? left_key(left[i]) : right_key(right[i - nl]);
         },
-        params, bind.ctx());
-    std::span<size_t> starts = internal::tag_group_starts(
-        sorted, bind.ctx(), internal::tag_eq_trivial);
+        params, ctx);
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, ctx, internal::tag_eq_trivial);
 
     // Exact output sizing: per-group left-count × right-count, scanned.
     size_t num_groups = starts.size();
@@ -97,7 +96,6 @@ std::vector<join_row> equi_join(std::span<const LeftRecord> left,
           }
         },
         1);
-    bind.finalize(params.stats);
   });
   return out;
 }
@@ -112,12 +110,11 @@ std::vector<std::pair<uint64_t, Acc>> group_aggregate(
   size_t n = rows.size();
   if (n == 0) return {};
   std::vector<std::pair<uint64_t, Acc>> out;
-  internal::run_with_pool_override(params, [&] {
-    internal::context_binding bind(params);
+  internal::operator_frame_keep_stats(params, [&](pipeline_context& ctx) {
     std::span<internal::key_tag> sorted = internal::tag_semisort(
-        n, [&](size_t i) { return get_key(rows[i]); }, params, bind.ctx());
-    std::span<size_t> starts = internal::tag_group_starts(
-        sorted, bind.ctx(), internal::tag_eq_trivial);
+        n, [&](size_t i) { return get_key(rows[i]); }, params, ctx);
+    std::span<size_t> starts =
+        internal::tag_group_starts(sorted, ctx, internal::tag_eq_trivial);
     size_t k = starts.size();
     out.resize(k);
     parallel_for(
@@ -130,7 +127,6 @@ std::vector<std::pair<uint64_t, Acc>> group_aggregate(
           out[g] = {sorted[lo].key, std::move(acc)};
         },
         1);
-    bind.finalize(params.stats);
   });
   return out;
 }

@@ -10,7 +10,16 @@
 //                      core/tag_semisort.h (included below) on the shared
 //                      tag-semisort-permute spine.
 //
-// Pipeline (all phases named as in §4, surfaced via params.timings):
+// Every call is plan-then-execute (ISSUE 10): the planner
+// (core/planner.h) makes at most one probe pass over the input and emits a
+// semisort_plan — dispatch path, scatter path, shard layout, overlap,
+// budget — which the executor (core/executor.h) runs verbatim. Plans are
+// first-class values: build one with plan_semisort_hashed, inspect or
+// serialize it, and hand it back via semisort_params::plan to skip the
+// probes entirely on subsequent calls over the same key population.
+//
+// Pipeline of the general path (all phases named as in §4, surfaced via
+// params.timings):
 //   1. "sample and sort"    — strided sample of hashed keys, radix-sorted
 //   2. "construct buckets"  — heavy/light split, f(s)-sized bucket layout
 //   3. "scatter"            — one CAS write per record into its bucket
@@ -29,346 +38,102 @@
 //
 // Out-of-core: when a memory budget is set (params.memory_budget_bytes or
 // PARSEMI_MEMORY_BUDGET) and the projected input + scratch footprint
-// exceeds it, the call routes through the shard driver
-// (shard/shard_driver.h, included below), which partitions by hash prefix
-// and runs this same in-memory engine once per budgeted shard. Unbudgeted
-// calls take the path below unchanged.
+// exceeds it, the plan comes back sharded and the executor routes through
+// the shard driver (shard/shard_driver.h, included below), which
+// partitions by hash prefix and runs this same in-memory engine once per
+// budgeted shard. Unbudgeted calls take the path below unchanged.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
-#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <type_traits>
 #include <vector>
 
-#include "core/bucket_plan.h"
-#include "core/dispatch.h"
-#include "core/local_sort.h"
-#include "core/pack_phase.h"
+#include "core/exec_plan.h"
+#include "core/executor.h"
 #include "core/params.h"
 #include "core/pipeline_context.h"
-#include "core/sampler.h"
-#include "core/scatter.h"
+#include "core/planner.h"
 #include "hashing/hash64.h"
-#include "primitives/merge.h"
-#include "sort/radix_sort.h"
-#include "util/env.h"
-#include "util/rng.h"
-#include "util/simd.h"
 #include "workloads/record.h"
 
 namespace parsemi {
 
 namespace internal {
 
-// Resolves the pipeline_context a call runs on — params.context, else a
-// stack-local one — and owns the per-call arena frame and accounting for
-// the outermost call on that context (derived operators re-enter with the
-// same context; only the outermost frame marks/rewinds the arena base and
-// publishes the memory plan to stats via finalize()).
-class context_binding {
- public:
-  explicit context_binding(const semisort_params& params) {
-    if (params.context != nullptr) {
-      ctx_ = params.context;
-    } else {
-      local_.emplace();
-      ctx_ = &*local_;
-    }
-    owner_ = (ctx_->depth++ == 0);
-    if (owner_) {
-      base_ = ctx_->scratch.mark();
-      ctx_->scratch.reset_high_water();
-      alloc_snap_ = ctx_->scratch.alloc_count();
-      ctx_->timings = params.timings;
-      ctx_->stats = params.stats;
-      // Bind the executing pool for the whole call (worker-partitioned
-      // scratch sizes itself from this) and snapshot the thread's fallback
-      // counter / job accounting so finalize() can attribute this call's
-      // share to its stats.
-      prev_pool_ = ctx_->pool;
-      ctx_->pool =
-          params.pool != nullptr ? params.pool : &worker_pool::resolve();
-      fallback_snap_ = tl_sequential_fallbacks;
-      acct_ = tl_job_acct;
-    }
-  }
-
-  ~context_binding() {
-    if (owner_) {
-      ctx_->scratch.rewind(base_);
-      ctx_->timings = nullptr;
-      ctx_->stats = nullptr;
-      ctx_->pool = prev_pool_;
-    }
-    ctx_->depth--;
-  }
-
-  context_binding(const context_binding&) = delete;
-  context_binding& operator=(const context_binding&) = delete;
-
-  pipeline_context& ctx() { return *ctx_; }
-
-  // Publishes the call's memory plan into `stats` (outermost frame only —
-  // a derived operator's numbers cover its tag arrays plus the inner
-  // semisort, not the inner call alone).
-  void finalize(semisort_stats* stats) {
-    if (owner_ && stats != nullptr) {
-      stats->peak_scratch_bytes = ctx_->scratch.high_water_bytes();
-      stats->arena_allocs = ctx_->scratch.alloc_count() - alloc_snap_;
-      stats->scratch_capacity_bytes = ctx_->scratch.capacity_bytes();
-      stats->sequential_fallbacks = tl_sequential_fallbacks - fallback_snap_;
-      if (acct_ != nullptr) {
-        stats->job_steals = acct_->steals.load(std::memory_order_relaxed);
-        stats->job_queue_wait_ns = acct_->queue_wait_ns;
-      }
-    }
-  }
-
- private:
-  std::optional<pipeline_context> local_;
-  pipeline_context* ctx_ = nullptr;
-  worker_pool* prev_pool_ = nullptr;
-  job_accounting* acct_ = nullptr;
-  arena::checkpoint base_;
-  size_t alloc_snap_ = 0;
-  uint64_t fallback_snap_ = 0;
-  bool owner_ = false;
-};
-
-// Ships a whole operator call onto `params.pool` when the calling thread
-// is foreign to that pool, so the pipeline runs with the pool's full
-// parallelism instead of the counted sequential fallback. Pool members —
-// and calls without an override — run inline.
-template <typename Fn>
-auto run_with_pool_override(const semisort_params& params, Fn&& fn) {
-  using R = std::invoke_result_t<Fn&>;
-  if (params.pool == nullptr || params.pool->contains_current_thread()) {
-    return fn();
-  }
-  if constexpr (std::is_void_v<R>) {
-    params.pool->run([&] { fn(); });
-    return;
-  } else {
-    std::optional<R> result;
-    params.pool->run([&] { result.emplace(fn()); });
-    return std::move(*result);
-  }
-}
-
-template <typename Record, typename GetKey>
-bool semisort_attempt(std::span<const Record> in, std::span<Record> out,
-                      GetKey get_key, const semisort_params& params,
-                      double alpha, uint64_t attempt_salt,
-                      pipeline_context& ctx) {
-  size_t n = in.size();
-  arena_scope attempt_frame(ctx.scratch);
-  ctx.base = rng(splitmix64(params.seed + 0x9e3779b9ULL * attempt_salt));
-  rng& base = ctx.base;
-  phase_timer* pt = params.timings;
-  if (pt != nullptr) pt->start();
-
-  // Phase 1 — sample and sort.
-  std::span<uint64_t> sample =
-      sample_keys(in, get_key, params.sampling_p, base.split(1), ctx);
-  switch (params.sample_sort_with) {
-    case semisort_params::sample_sorter::radix:
-      internal::radix_sort_sample(sample, ctx.scratch);
-      break;
-    case semisort_params::sample_sorter::merge_sort:
-      parallel_merge_sort(sample);
-      break;
-    case semisort_params::sample_sorter::std_sort:
-      std::sort(sample.begin(), sample.end());
-      break;
-  }
-  if (pt != nullptr) pt->record("sample and sort");
-
-  // Phase 2 — construct buckets.
-  bucket_plan plan = build_bucket_plan(std::span<const uint64_t>(sample), n,
-                                       params, alpha, ctx);
-  if (pt != nullptr) pt->record("construct buckets");
-
-  // Phase 3 — scatter (path chosen per run; see core/scatter.h).
-  scatter_path path =
-      choose_scatter_path(n, plan.num_buckets(), sizeof(Record), params);
-  scatter_storage<Record> storage(plan.total_slots, base.split(2).next() | 1,
-                                  &ctx);
-  scatter_telemetry telem;
-  scatter_result result = scatter_dispatch(
-      path, in, storage, plan, get_key, params, base.split(3), ctx,
-      params.stats != nullptr ? &telem : nullptr);
-  if (pt != nullptr) pt->record("scatter");
-  if (result != scatter_result::ok) return false;
-
-  // Phase 4 — local sort.
-  std::span<size_t> light_counts(ctx.scratch.alloc<size_t>(plan.num_light),
-                                 plan.num_light);
-  std::atomic<bool> local_kernel_used{false};
-  // The buffered and blocked paths fill each bucket front-to-back, so the
-  // local sort can treat occupancy as a prefix and skip the hole sweep.
-  local_sort_light_buckets(
-      storage, plan, get_key, params, light_counts,
-      params.stats != nullptr ? &local_kernel_used : nullptr,
-      /*dense_storage=*/path != scatter_path::cas);
-  if (pt != nullptr) pt->record("local sort");
-
-  // Stats are gathered before the pack so that `out` may alias `in`
-  // (the in-place entry point): every input record already lives in
-  // `storage`, and nothing below reads `in` again.
-  if (params.stats != nullptr) {
-    semisort_stats& st = *params.stats;
-    st.n = n;
-    st.sample_size = sample.size();
-    st.num_heavy_keys = plan.num_heavy;
-    st.num_light_buckets = plan.num_light;
-    st.total_slots = plan.total_slots;
-    st.heavy_slots = plan.heavy_slots_end;
-    size_t blocks = internal::scan_num_blocks(n);
-    std::span<size_t> sums(ctx.scratch.alloc<size_t>(blocks), blocks);
-    st.heavy_records =
-        plan.num_heavy == 0
-            ? 0
-            : reduce_index<size_t>(
-                  n,
-                  [&](size_t i) -> size_t {
-                    return plan.heavy_table->contains(get_key(in[i])) ? 1 : 0;
-                  },
-                  0, sums);
-    // Path-conditional telemetry: the probe histogram only means something
-    // on the CAS path, the flush counters only on the buffered path; the
-    // blocked path's whole point is issuing zero placement atomics.
-    st.scatter_path_used = path;
-    switch (path) {
-      case scatter_path::cas:
-        for (size_t b = 0; b < semisort_stats::kProbeBins; ++b)
-          st.probe_hist[b] =
-              telem.probe.bins[b].load(std::memory_order_relaxed);
-        st.max_probe = telem.probe.max.load(std::memory_order_relaxed);
-        break;
-      case scatter_path::buffered:
-        st.scatter_flushes = telem.flushes.load(std::memory_order_relaxed);
-        st.scatter_chunk_claims =
-            telem.chunk_claims.load(std::memory_order_relaxed);
-        st.scatter_bytes_staged =
-            telem.bytes_staged.load(std::memory_order_relaxed);
-        for (size_t b = 0; b < semisort_stats::kFlushBins; ++b)
-          st.flush_hist[b] =
-              telem.flush_hist[b].load(std::memory_order_relaxed);
-        st.scatter_atomics_saved = n - st.scatter_chunk_claims;
-        break;
-      case scatter_path::blocked:
-        st.scatter_atomics_saved = n;  // placement issued no atomics
-        break;
-    }
-    // Per-phase SIMD engagement (width contract documented in params.h:
-    // 256/128 vector tier, 64 scalar tier, 0 no accelerated kernel on the
-    // path this run took).
-    st.simd_hash_width = sample.size() > 0 ? simd::kWidthBits : 0;
-    switch (path) {
-      case scatter_path::cas:
-        st.simd_scatter_width =
-            scatter_storage<Record>::kKeyCas
-                ? ((simd::kEnabled && !simd::kTsan)
-                       ? simd::probe_width<sizeof(Record)>()
-                       : 64)
-                : 0;
-        break;
-      case scatter_path::buffered:
-        st.simd_scatter_width = simd::kWidthBits;  // run_len_u32 flush scan
-        break;
-      case scatter_path::blocked:
-        st.simd_scatter_width = 0;  // two-pass counting: no scan kernel
-        break;
-    }
-    st.simd_local_sort_width =
-        local_kernel_used.load(std::memory_order_relaxed) ? simd::kWidthBits
-                                                          : 0;
-    st.simd_pack_width =
-        std::is_trivially_copyable_v<Record> ? simd::kWidthBits : 0;
-  }
-
-  // Phase 5 — pack.
-  size_t written = pack_output(storage, plan,
-                               std::span<const size_t>(light_counts), out,
-                               params, ctx);
-  if (pt != nullptr) pt->record("pack");
-  if (written != n) {
-    // Every record was claimed exactly once, so this can only mean a bug.
-    throw std::logic_error("parsemi::semisort: packed " +
-                           std::to_string(written) + " of " +
-                           std::to_string(n) + " records");
-  }
-  return true;
-}
-
-// Out-of-core shard driver (shard/shard_driver.h, included at the bottom
-// of this header — the tag_semisort arrangement): partitions by hash
-// prefix into budget-sized shards and runs the in-memory engine per shard.
-template <typename Record, typename GetKey>
-void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
-                             GetKey get_key, const semisort_params& params,
-                             size_t budget, bool aliased, const char* who);
-
-// The memory budget in force for a call: the explicit param wins;
-// 0 defers to PARSEMI_MEMORY_BUDGET; SIZE_MAX (the shard driver's inner
-// calls) means unconditionally unlimited. Returns 0 for "unlimited" —
-// allocation-free, so the unbudgeted fast path stays zero-heap.
-inline size_t resolve_memory_budget(const semisort_params& params) {
-  if (params.memory_budget_bytes == SIZE_MAX) return 0;
-  if (params.memory_budget_bytes != 0) return params.memory_budget_bytes;
-  return static_cast<size_t>(
-      env_byte_size("PARSEMI_MEMORY_BUDGET").value_or(0));
-}
-
 // Shared body of semisort_hashed and semisort_hashed_inplace (which differ
-// only in whether `out` aliases `in`): route to the shard driver when a
-// memory budget demands it; otherwise bind the context, give the front-end
-// dispatch (core/dispatch.h) first refusal, and run the paper's Las-Vegas
-// attempt loop.
+// only in whether `out` aliases `in`): resolve the plan — the caller's
+// cached one (validated), or a freshly built one — then execute it.
+//
+// The sharded routing decision is made *before* the context binding: it is
+// a sequential sample (shard/shard_plan.h) that needs no pipeline context,
+// and the shard driver owns its own contexts. A sharded plan that came
+// back with ≤ 1 shard (everything fit after all, or one dominant prefix
+// cannot be split) falls back to the in-memory engine with the budget
+// lifted — a fresh plan, so the fallback's own probe still runs.
 template <typename Record, typename GetKey>
 void semisort_hashed_run(std::span<const Record> in, std::span<Record> out,
                          GetKey get_key, const semisort_params& params,
                          bool aliased, const char* who) {
-  size_t budget = resolve_memory_budget(params);
-  if (budget != 0 &&
-      scratch_model{}.footprint_bytes(in.size(), sizeof(Record)) > budget) {
-    semisort_hashed_sharded(in, out, get_key, params, budget, aliased, who);
-    return;
+  const semisort_plan* plan = params.plan;
+  semisort_plan local;
+  if (plan != nullptr) {
+    validate_plan_binding(*plan, in.size(), sizeof(Record), params, who);
+  } else {
+    init_plan_binding(local, in.size(), sizeof(Record), params);
+    if (plan_sharded_route(in, get_key, params, local)) plan = &local;
   }
-  run_with_pool_override(params, [&] {
-    if (params.stats != nullptr) {
-      *params.stats = {};
-      params.stats->shards = 1;  // the in-memory path is one shard
-    }
-    context_binding bind(params);
-    if (try_dispatch_semisort(in, out, get_key, params, aliased, bind.ctx())) {
-      bind.finalize(params.stats);
+
+  if (plan != nullptr && plan->sharded) {
+    if (plan->shards.num_shards <= 1) {
+      semisort_params inner = params;
+      inner.memory_budget_bytes = SIZE_MAX;
+      inner.plan = nullptr;
+      semisort_hashed_run(in, out, get_key, inner, aliased, who);
       return;
     }
-    double alpha = params.alpha;
-    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
-      if (params.timings != nullptr && attempt > 0) params.timings->clear();
-      if (semisort_attempt(in, out, get_key, params, alpha,
-                           static_cast<uint64_t>(attempt), bind.ctx())) {
-        if (params.stats != nullptr) params.stats->restarts = attempt;
-        bind.finalize(params.stats);
-        return;
-      }
-      alpha *= 2.0;  // overflow (or sentinel clash): retry with more slack
+    execute_sharded_plan(in, out, get_key, params, *plan, aliased, who);
+    return;
+  }
+
+  run_with_pool_override(params, [&] {
+    if (params.stats != nullptr) *params.stats = {};
+    context_binding bind(params);
+    if (plan == nullptr) {
+      plan_in_memory(in, get_key, params, local, bind.ctx());
+      plan = &local;
     }
-    throw std::runtime_error(std::string("parsemi::") + who +
-                             ": bucket overflow persisted after retries");
+    publish_plan(params.stats, *plan, /*reused=*/params.plan != nullptr);
+    execute_in_memory_plan(in, out, get_key, params, *plan, aliased, who,
+                           bind);
   });
 }
 
 }  // namespace internal
+
+// Builds — without executing — the plan that semisort_hashed would run
+// for `in` under `params`: at most one probe pass, deterministic for a
+// fixed (input, params, seed). Hand the result back through
+// semisort_params::plan to execute it with zero re-probe (and zero heap
+// allocations on a warm context); serialize() it for inspection or
+// determinism tests. The plan is bound to this call shape — the executor
+// rejects it for a different n, record size, or planning-relevant params.
+template <typename Record, typename GetKey = record_key>
+semisort_plan plan_semisort_hashed(std::span<const Record> in,
+                                   GetKey get_key = {},
+                                   const semisort_params& params = {}) {
+  params.validate();
+  semisort_plan plan;
+  internal::init_plan_binding(plan, in.size(), sizeof(Record), params);
+  if (internal::plan_sharded_route(in, get_key, params, plan)) return plan;
+  internal::run_with_pool_override(params, [&] {
+    internal::context_binding bind(params);
+    internal::plan_in_memory(in, get_key, params, plan, bind.ctx());
+  });
+  return plan;
+}
 
 // Semisorts `in` into `out` (same length) by the 64-bit hashed key
 // `get_key(record)`. Keys are assumed uniformly distributed over 64 bits
@@ -441,6 +206,7 @@ std::vector<Record> semisort_hashed(std::span<const Record> in,
 // The general-key `semisort` (and the tag-semisort-permute spine every
 // derived operator shares) builds on semisort_hashed; see that header.
 #include "core/tag_semisort.h"
-// The out-of-core shard driver defines internal::semisort_hashed_sharded,
-// forward-declared above, in terms of the public entry points.
+// The out-of-core shard driver defines internal::execute_sharded_plan,
+// forward-declared in core/executor.h, in terms of the public entry
+// points.
 #include "shard/shard_driver.h"

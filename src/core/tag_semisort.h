@@ -174,18 +174,16 @@ std::vector<T> semisort(std::span<const T> in, KeyFn key_of, HashFn hash,
   size_t n = in.size();
   std::vector<T> out(n);
   if (n == 0) return out;
-  internal::run_with_pool_override(params, [&] {
-    internal::context_binding bind(params);
+  internal::operator_frame_keep_stats(params, [&](pipeline_context& ctx) {
     std::span<internal::key_tag> sorted = internal::tag_semisort(
-        n, [&](size_t i) { return hash(key_of(in[i])); }, params, bind.ctx());
+        n, [&](size_t i) { return hash(key_of(in[i])); }, params, ctx);
     internal::repair_hash_collisions(
         sorted,
         [&](uint64_t a, uint64_t b) {
           return eq(key_of(in[a]), key_of(in[b]));
         },
-        bind.ctx());
+        ctx);
     parallel_for(0, n, [&](size_t i) { out[i] = in[sorted[i].index]; });
-    bind.finalize(params.stats);
   });
   return out;
 }

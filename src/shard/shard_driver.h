@@ -1,13 +1,13 @@
-// shard_driver — out-of-core execution of semisort_hashed under a byte
-// budget. Included at the bottom of core/semisort.h (the same arrangement
-// as core/tag_semisort.h); semisort_hashed_run forward-declares and routes
-// to semisort_hashed_sharded when the projected footprint exceeds the
-// resolved budget.
+// shard_driver — out-of-core execution of a sharded semisort_plan.
+// Included at the bottom of core/semisort.h (the same arrangement as
+// core/tag_semisort.h); core/executor.h forward-declares
+// execute_sharded_plan and core/semisort.h routes here when the planner
+// came back with a multi-shard plan.
 //
-// Structure of a sharded call:
-//   1. plan    — shard_plan.h groups hash-prefix bins into shards whose
-//                estimated input + engine scratch fits the budget.
-//   2. partition — one stable blocked counting pass (the same
+// Structure of a sharded call (the plan is made before the driver runs —
+// shard/shard_plan.h groups hash-prefix bins into shards whose estimated
+// input + engine scratch fits the budget):
+//   1. partition — one stable blocked counting pass (the same
 //                histogram / strided-scan / placement idiom as the blocked
 //                scatter and the dispatch fast path) moves every record to
 //                its shard's contiguous range. The destination is the
@@ -16,16 +16,23 @@
 //                mmap-backed spill run (spill_file.h) instead — the kernel
 //                pages it to disk under pressure, which is what keeps the
 //                resident set near the budget.
-//   3. execute — each shard runs the unchanged in-memory engine through the
+//   2. execute — each shard runs the unchanged in-memory engine through the
 //                existing worker_pool, with one reused pipeline_context so
-//                shards after the first perform zero heap allocations. On
-//                the spill path the driver prefetches the next shard's run
-//                (madvise WILLNEED) before sorting the current one —
-//                overlapping read-back I/O with compute — and drops each
-//                consumed run (DONTNEED) afterwards.
-//   4. concat  — nothing to do: shards are contiguous prefix ranges placed
+//                shards after the first perform zero heap allocations.
+//   3. concat  — nothing to do: shards are contiguous prefix ranges placed
 //                back-to-back in `out`, so the concatenation is implicit
 //                and every key's group is globally contiguous.
+//
+// Overlapped spill I/O (plan.overlap_io, ROADMAP item 2 follow-on): on the
+// spill path the driver owns a dedicated one-worker I/O pool behind a
+// job_gateway. Before computing shard k it submits a prefetch job for
+// shard k+1's run — madvise WILLNEED plus a one-byte-per-page touch, so
+// the read-back faults on the I/O worker while the compute pool semisorts
+// shard k — and joins that job before consuming run k+1. With overlap off
+// (plan or PARSEMI_SHARD_OVERLAP=off) the driver falls back to the plain
+// async WILLNEED hint. Either way each consumed run is dropped (DONTNEED)
+// so it stops competing with the budgeted working set. Overlapped
+// prefetches are counted in stats.overlapped_prefetches.
 //
 // The budget is enforced w.h.p., not absolutely: the plan packs shards from
 // a sampled histogram with headroom, and a single dominant hash prefix
@@ -37,13 +44,17 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "core/exec_plan.h"
+#include "core/executor.h"
 #include "core/params.h"
 #include "core/pipeline_context.h"
 #include "primitives/histogram.h"
 #include "primitives/scan.h"
+#include "scheduler/job_gateway.h"
 #include "scheduler/scheduler.h"
 #include "shard/shard_plan.h"
 #include "shard/spill_file.h"
@@ -94,37 +105,32 @@ inline void accumulate_shard_stats(semisort_stats& agg,
 }
 
 template <typename Record, typename GetKey>
-void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
-                             GetKey get_key, const semisort_params& params,
-                             size_t budget, bool aliased, const char* who) {
+void execute_sharded_plan(std::span<const Record> in, std::span<Record> out,
+                          GetKey get_key, const semisort_params& params,
+                          const semisort_plan& plan, bool aliased,
+                          const char* who) {
+  (void)who;
   const size_t n = in.size();
   constexpr size_t kRecordBytes = sizeof(Record);
+  const shard_plan& sp = plan.shards;
+  const size_t S = sp.num_shards;
 
-  scratch_model model;
-  shard_plan plan = plan_shards(in, get_key, budget, model);
-
-  // Per-shard engine configuration: never recurse into sharding, and own
-  // the telemetry so the driver can aggregate it.
+  // Per-shard engine configuration: never recurse into sharding, plan each
+  // shard fresh (the shard IS that call's input), and own the telemetry so
+  // the driver can aggregate it.
   semisort_params inner = params;
   inner.memory_budget_bytes = SIZE_MAX;
   inner.timings = nullptr;
   inner.context = nullptr;
-
-  if (plan.num_shards <= 1) {
-    // Everything fits — or a single dominant prefix made splitting
-    // impossible. Either way the in-memory engine is the only option.
-    inner.timings = params.timings;
-    inner.context = params.context;
-    semisort_hashed_run(in, out, get_key, inner, aliased, who);
-    return;
-  }
+  inner.plan = nullptr;
 
   run_with_pool_override(params, [&] {
     phase_timer* pt = params.timings;
     if (pt != nullptr) pt->start();
-    if (params.stats != nullptr) *params.stats = {};
-
-    const size_t S = plan.num_shards;
+    if (params.stats != nullptr) {
+      *params.stats = {};
+      publish_plan(params.stats, plan, /*reused=*/params.plan != nullptr);
+    }
 
     // Partition destination: reuse `out` when it is separate storage; spill
     // to an mmap-backed run when the call is in-place.
@@ -149,7 +155,7 @@ void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
     {
       arena_scope scope(drv_ctx.scratch);
       auto shard_at = [&](size_t i) {
-        return plan.shard_of_key(get_key(in[i]));
+        return sp.shard_of_key(get_key(in[i]));
       };
       size_t block = histogram_block_size(n, S);
       size_t num_blocks = histogram_num_blocks(n, block);
@@ -189,6 +195,36 @@ void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
     }
     if (pt != nullptr) pt->record("partition");
 
+    // Overlapped spill I/O: a dedicated one-worker pool faults the next
+    // shard's run in while the compute pool works on the current one. The
+    // gateway (and its pending handle) must be destroyed before `spill`,
+    // so they are declared after it — destruction order joins every I/O
+    // job before the mapping goes away.
+    const bool overlap = plan.overlap_io && aliased && S >= 2;
+    std::optional<worker_pool> io_pool;
+    std::optional<job_gateway> io_gateway;
+    if (overlap) {
+      io_pool.emplace(1);
+      io_gateway.emplace(*io_pool);
+    }
+    size_t overlapped = 0;
+    job_handle pending;  // prefetch of the shard about to be consumed
+    auto submit_prefetch = [&](size_t lo, size_t hi) {
+      const size_t off = lo * kRecordBytes;
+      const size_t bytes = (hi - lo) * kRecordBytes;
+      spill.advise_willneed(off, bytes);  // kernel readahead starts now
+      const unsigned char* base =
+          reinterpret_cast<const unsigned char*>(spill.data()) + off;
+      return io_gateway->submit([base, bytes] {
+        // Touch one byte per page so the read-back faults on the I/O
+        // worker, not the compute pool. The volatile reads keep the loop.
+        const volatile unsigned char* p = base;
+        unsigned char acc = 0;
+        for (size_t i = 0; i < bytes; i += 4096) acc ^= p[i];
+        (void)acc;
+      });
+    };
+
     // Execute the in-memory engine shard by shard. One reused context: the
     // first shard warms the arena, the rest run allocation-free.
     pipeline_context shard_ctx;
@@ -198,11 +234,19 @@ void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
     semisort_stats agg{};
     for (size_t s = 0; s < S; ++s) {
       size_t lo = shard_begin[s], hi = shard_begin[s + 1];
+      // Join this shard's prefetch (submitted while shard s-1 computed)
+      // before consuming its run.
+      if (pending.valid()) pending.wait();
       if (aliased && s + 1 < S) {
         // Start read-back of the next run while this shard computes.
-        spill.advise_willneed(shard_begin[s + 1] * kRecordBytes,
-                              (shard_begin[s + 2] - shard_begin[s + 1]) *
-                                  kRecordBytes);
+        if (overlap) {
+          pending = submit_prefetch(shard_begin[s + 1], shard_begin[s + 2]);
+          ++overlapped;
+        } else {
+          spill.advise_willneed(shard_begin[s + 1] * kRecordBytes,
+                                (shard_begin[s + 2] - shard_begin[s + 1]) *
+                                    kRecordBytes);
+        }
       }
       if (hi != lo) {
         shard_stats = {};
@@ -214,20 +258,23 @@ void semisort_hashed_sharded(std::span<const Record> in, std::span<Record> out,
         } else {
           semisort_hashed_inplace(dst, get_key, inner);
         }
-        if (inner.stats != nullptr) {
-          accumulate_shard_stats(agg, shard_stats);
-          model.observe(hi - lo, kRecordBytes, shard_stats.peak_scratch_bytes);
-        }
+        if (inner.stats != nullptr) accumulate_shard_stats(agg, shard_stats);
       }
     }
+    if (pending.valid()) pending.release();
     if (pt != nullptr) pt->record("execute shards");
 
     if (params.stats != nullptr) {
+      // The plan summary was published before the shards ran; carry it
+      // across the aggregate assignment.
+      plan_summary ps = params.stats->plan;
       *params.stats = agg;
       semisort_stats& st = *params.stats;
+      st.plan = ps;
       st.n = n;
       st.shards = S;
       st.spilled_bytes = aliased ? n * kRecordBytes : 0;
+      st.overlapped_prefetches = overlapped;
       // The call's resident scratch is one engine's working set (shards are
       // sequential) plus the driver's partition matrix.
       st.peak_scratch_bytes = std::max(agg.shard_peak_scratch_bytes,

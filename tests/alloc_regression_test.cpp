@@ -147,6 +147,43 @@ TEST(AllocRegression, BudgetedSingleShardPathStaysZeroAlloc) {
   EXPECT_TRUE(testing::valid_semisort(out, in));
 }
 
+TEST(AllocRegression, PlanReuseStaysZeroAllocAndZeroProbe) {
+  // Plan reuse is the zero-warm-alloc contract in its strongest form: the
+  // plan is built once up front, every later call skips the probe entirely
+  // (stats.plan.reused with zero probe passes), and the execution itself
+  // allocates nothing once the shared context is warm.
+  size_t n = 120000;
+  auto in = generate_records(n, {distribution_kind::exponential, 1000}, 45);
+  std::vector<record> out(n);
+
+  pipeline_context ctx;
+  semisort_stats stats;
+  semisort_params params;
+  params.context = &ctx;
+  params.stats = &stats;
+
+  semisort_plan plan =
+      plan_semisort_hashed(std::span<const record>(in), record_key{}, params);
+  params.plan = &plan;
+
+  for (int round = 0; round < 3; ++round) {
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+  }
+  size_t before = heap_allocs();
+  for (int round = 0; round < 5; ++round) {
+    semisort_hashed(std::span<const record>(in), std::span<record>(out),
+                    record_key{}, params);
+  }
+  size_t leaked = heap_allocs() - before;
+  EXPECT_EQ(leaked, 0u)
+      << leaked << " heap allocations on warm plan-reuse calls";
+  EXPECT_TRUE(stats.plan.reused);
+  EXPECT_EQ(stats.plan.probe_passes, 0u);
+  EXPECT_EQ(stats.plan.probe_records, 0u);
+  EXPECT_TRUE(testing::valid_semisort(out, in));
+}
+
 TEST(AllocRegression, EveryScatterPathZeroHeapAllocationsWhenWarm) {
   // The engine's buffered and blocked paths provision their write buffers /
   // count matrices from the same arena — forcing each path (plus the env

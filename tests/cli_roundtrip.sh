@@ -51,6 +51,38 @@ cmp -s "$DIR/canon_plain.txt" "$DIR/canon_budget.txt" || {
   echo "budgeted sort: record multiset differs from unbudgeted"; exit 1;
 }
 
+# --explain prints the execution plan without executing (no output file),
+# and the plan names the same dispatch/scatter paths the executed run's
+# report does.
+"$CLI" --mode sort --in "$DIR/records.bin" --out "$DIR/never_written.bin" \
+       --explain > "$DIR/plan.txt"
+[ ! -f "$DIR/never_written.bin" ] || {
+  echo "explain: wrote output despite --explain"; exit 1;
+}
+grep -q '^semisort_plan v1$' "$DIR/plan.txt" || {
+  echo "explain: missing plan header"; cat "$DIR/plan.txt"; exit 1;
+}
+grep -q '^probe_passes [01]$' "$DIR/plan.txt" || {
+  echo "explain: probe_passes missing or > 1"; cat "$DIR/plan.txt"; exit 1;
+}
+PLAN_DISPATCH=$(awk '$1=="dispatch"{print $2}' "$DIR/plan.txt")
+PLAN_SCATTER=$(awk '$1=="scatter"{print $2}' "$DIR/plan.txt")
+"$CLI" --mode sort --in "$DIR/records.bin" --out "$DIR/grouped_replan.bin" \
+       > "$DIR/sort_report.txt"
+grep -q "dispatch=$PLAN_DISPATCH scatter=$PLAN_SCATTER " \
+    "$DIR/sort_report.txt" || {
+  echo "explain: executed run took different paths than the plan";
+  cat "$DIR/plan.txt" "$DIR/sort_report.txt"; exit 1;
+}
+
+# A second --explain over the same input must be byte-identical (the
+# planner is deterministic for fixed input, params, and seed).
+"$CLI" --mode sort --in "$DIR/records.bin" --out "$DIR/never_written.bin" \
+       --explain > "$DIR/plan2.txt"
+cmp -s "$DIR/plan.txt" "$DIR/plan2.txt" || {
+  echo "explain: plan not deterministic"; exit 1;
+}
+
 # Malformed numeric flag must exit 2 with a named error, not terminate().
 if "$CLI" --mode generate --n abc --out "$DIR/z.bin" 2> "$DIR/err.txt"; then
   echo "generate: accepted garbage --n"; exit 1

@@ -1,0 +1,49 @@
+// Fixture: an impure planner — one function opens an arena_scope and runs
+// its own probe scan, another spawns parallel work directly, and a third
+// does both (two findings on one function). The rule is scoped to
+// src/**/planner.h, so tests feed this text under "src/core/planner.h".
+struct arena {
+  void* alloc_bytes(unsigned long n);
+};
+struct arena_scope {
+  explicit arena_scope(arena& a);
+  ~arena_scope();
+};
+struct pipeline_context {
+  arena scratch;
+};
+struct semisort_plan {
+  unsigned long probe_passes = 0;
+  unsigned long domain_width = 0;
+};
+template <class F>
+void parallel_for(unsigned long lo, unsigned long hi, F&& f);
+
+void plan_with_own_scratch(unsigned long n, semisort_plan& plan,
+                           pipeline_context& ctx) {  // flagged: arena_scope
+  arena_scope scope(ctx.scratch);
+  unsigned long* partial =
+      static_cast<unsigned long*>(ctx.scratch.alloc_bytes(n));
+  plan.domain_width = partial[0];
+}
+
+void plan_with_own_scan(unsigned long n, const unsigned long* keys,
+                        semisort_plan& plan,
+                        pipeline_context& ctx) {  // flagged: spawns
+  unsigned long mx = 0;
+  parallel_for(0, n, [&](unsigned long i) {
+    mx = keys[i] > mx ? keys[i] : mx;
+  });
+  plan.domain_width = mx;
+  plan.probe_passes = 1;
+}
+
+void plan_doing_everything(unsigned long n, const unsigned long* keys,
+                           semisort_plan& plan,
+                           pipeline_context& ctx) {  // flagged twice
+  arena_scope scope(ctx.scratch);
+  unsigned long* tmp =
+      static_cast<unsigned long*>(ctx.scratch.alloc_bytes(n));
+  parallel_for(0, n, [&](unsigned long i) { tmp[i] = keys[i]; });
+  plan.probe_passes = 1;
+}

@@ -1,0 +1,44 @@
+// Fixture: a pure planner — decision functions that fill a plan struct
+// from parameters and probe *results*, delegating every scan to a probe
+// function that owns its own scratch and parallelism elsewhere. The rule
+// is scoped to src/**/planner.h, so tests feed this text under
+// "src/core/planner.h".
+struct arena {
+  void* alloc_bytes(unsigned long n);
+};
+struct pipeline_context {
+  arena scratch;
+};
+struct key_domain {
+  bool dense;
+  unsigned long width;
+};
+struct semisort_plan {
+  unsigned long n = 0;
+  bool domain_dense = false;
+  unsigned long domain_width = 0;
+  unsigned long probe_passes = 0;
+};
+
+// Declared here, defined in its home header: the probe owns its scratch.
+key_domain probe_key_domain(unsigned long n, pipeline_context& ctx);
+
+unsigned long predict_bucket_count(unsigned long n, double sampling_p) {
+  double sample = static_cast<double>(n) * sampling_p;
+  return sample < 1.0 ? 1 : static_cast<unsigned long>(sample);
+}
+
+void plan_in_memory(unsigned long n, semisort_plan& plan,
+                    pipeline_context& ctx) {
+  key_domain dom = probe_key_domain(n, ctx);  // the probe executes, not us
+  plan.probe_passes = 1;
+  plan.domain_dense = dom.dense;
+  plan.domain_width = dom.width;
+}
+
+semisort_plan build_plan(unsigned long n, pipeline_context& ctx) {
+  semisort_plan plan;
+  plan.n = n;
+  plan_in_memory(n, plan, ctx);
+  return plan;
+}

@@ -189,6 +189,34 @@ TEST(PoolRouting, SchedulerSourcesAreExempt) {
   EXPECT_EQ(hard_count(a, rule::pool_routing), 0);
 }
 
+TEST(PlannerPure, ArenaScopesAndSpawnsInsideThePlannerAreFlagged) {
+  // The rule is scoped to src/**/planner.h: feed the fixture under the
+  // planner's path.
+  analysis a = analyze_source(fixture("planner_pure_bad.cpp"),
+                              "src/core/planner.h");
+  // One arena_scope opener, one direct spawner, and one function doing
+  // both (two findings on it).
+  EXPECT_EQ(hard_count(a, rule::planner_pure), 4);
+  EXPECT_TRUE(any_message_contains(a, "opens an arena_scope inside the"));
+  EXPECT_TRUE(any_message_contains(a, "spawns parallel work inside the"));
+  EXPECT_TRUE(any_message_contains(a, "'plan_doing_everything'"));
+}
+
+TEST(PlannerPure, DelegatingProbesToTheirHomeHeadersIsClean) {
+  analysis a = analyze_source(fixture("planner_pure_good.cpp"),
+                              "src/core/planner.h");
+  EXPECT_EQ(hard_total(a), 0);
+}
+
+TEST(PlannerPure, RuleIsScopedToPlannerHeaders) {
+  // The same impure text anywhere else is this rule's business nowhere
+  // else — probes legitimately own scratch and parallelism in their home
+  // headers.
+  analysis a = analyze_source(fixture("planner_pure_bad.cpp"),
+                              "src/core/key_domain.h");
+  EXPECT_EQ(hard_count(a, rule::planner_pure), 0);
+}
+
 TEST(ParallelCapture, RacyCapturedWritesAreFlagged) {
   analysis a = analyze_source(fixture("parallel_capture_bad.cpp"),
                               "parallel_capture_bad.cpp");

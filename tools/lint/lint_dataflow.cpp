@@ -834,6 +834,47 @@ void check_pool_routing(const std::vector<unit>& units,
   }
 }
 
+// ---- rule: planner-pure --------------------------------------------------
+
+// Scope: the planner header(s) — src/**/planner.h. Planning must stay
+// orchestration: a plan is cheap to build, reusable, and serializable
+// precisely because the planner never executes. The probes it calls own
+// their scratch and parallelism in their home headers.
+bool planner_pure_scope(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return false;
+  size_t slash = path.find_last_of('/');
+  return path.substr(slash + 1) == "planner.h";
+}
+
+void check_planner_pure(const symbol_index& idx, std::vector<finding>& out) {
+  for (const func_entry& fe : idx.functions) {
+    if (!planner_pure_scope(fe.file)) continue;
+    // Nested lambda body facts are already attributed to the enclosing
+    // function; flagging the lambda entries too would double-report.
+    if (fe.is_lambda) continue;
+    if (fe.opens_arena_scope) {
+      out.push_back(
+          {rule::planner_pure, fe.file, fe.line,
+           "'" + fe.name +
+               "' opens an arena_scope inside the planner — planning "
+               "decides, it does not execute; move the scratch-owning "
+               "probe to its home header",
+           false,
+           {}});
+    }
+    if (fe.spawns_parallel) {
+      out.push_back(
+          {rule::planner_pure, fe.file, fe.line,
+           "'" + fe.name +
+               "' spawns parallel work inside the planner — planning "
+               "decides, it does not execute; let the probe it calls own "
+               "its parallelism in its home header",
+           false,
+           {}});
+    }
+  }
+}
+
 }  // namespace
 
 void run_dataflow_rules(const std::vector<unit>& units,
@@ -853,6 +894,7 @@ void run_dataflow_rules(const std::vector<unit>& units,
     }
   }
   check_pool_routing(units, idx, sm, out);
+  check_planner_pure(idx, out);
 
   // Nested scopes can be walked both standalone and from an enclosing
   // entry; identical findings collapse here.

@@ -735,6 +735,7 @@ const char* rule_name(rule r) {
     case rule::simd_fallback: return "simd-fallback";
     case rule::spill_lifetime: return "spill-lifetime";
     case rule::pool_routing: return "pool-routing";
+    case rule::planner_pure: return "planner-pure";
   }
   return "?";
 }

@@ -55,6 +55,13 @@
 //                      calls `default_pool()`, so callers stay routable
 //                      onto instantiable pools instead of hard-wiring the
 //                      process-wide one.
+//   planner-pure       a function defined in a planner header
+//                      (src/**/planner.h) must neither open an arena_scope
+//                      nor spawn parallel work — planning decides, it does
+//                      not execute. The probes a planner calls own their
+//                      scratch and parallelism in their home headers;
+//                      keeping the planner itself pure is what makes plans
+//                      cheap to build, reusable, and serializable.
 //   simd-fallback      a preprocessor-guarded block in src/ that uses
 //                      vector intrinsics (_mm*/__m128/__m256/__m512) must
 //                      have a sibling #else branch free of intrinsics —
@@ -97,9 +104,10 @@ enum class rule {
   simd_fallback,
   spill_lifetime,
   pool_routing,
+  planner_pure,
 };
 
-inline constexpr int kNumRules = 8;
+inline constexpr int kNumRules = 9;
 
 const char* rule_name(rule r);
 bool rule_from_name(std::string_view name, rule& out);

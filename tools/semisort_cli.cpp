@@ -7,6 +7,8 @@
 //   sort      semisort a binary record file (16-byte records: u64 key,
 //             u64 payload) and write the grouped records
 //       semisort_cli --mode sort --in records.bin --out grouped.bin
+//             With --explain: build and print the execution plan
+//             (core/exec_plan.h serialize() form), execute nothing.
 //   lines     group duplicate stdin lines and print "count<TAB>line"
 //             (a parallel `sort | uniq -c` that never compares strings
 //             beyond hashing + the collision repair)
@@ -77,24 +79,36 @@ int mode_generate(const arg_parser& args) {
 int mode_sort(const arg_parser& args) {
   auto records = read_records(args.get_string("in", "records.bin"));
   std::string out = args.get_string("out", "grouped.bin");
-  timer t;
-  semisort_stats stats;
   semisort_params params;
-  params.stats = &stats;
   // --memory-budget 256M (or PARSEMI_MEMORY_BUDGET) makes the run shard
   // out of core when the footprint exceeds the budget; 0 = env/unlimited.
   params.memory_budget_bytes = args.get_bytes("memory-budget", 0);
+  if (args.has("explain")) {
+    // Plan only: the same planner call the sort below would make, printed
+    // in the deterministic serialize() form. Nothing is executed and no
+    // output file is written.
+    semisort_plan plan =
+        plan_semisort_hashed(std::span<const record>(records), record_key{},
+                             params);
+    std::fputs(plan.serialize().c_str(), stdout);
+    return 0;
+  }
+  timer t;
+  semisort_stats stats;
+  params.stats = &stats;
   auto grouped = semisort_hashed(std::span<const record>(records),
                                  record_key{}, params);
   double elapsed = t.elapsed();
   write_records(out, grouped);
   std::printf(
       "semisorted %zu records in %.3fs (%.1f Mrec/s); %zu heavy keys, "
-      "%.1f%% heavy records, %.2f slots/record, shards=%zu → %s\n",
+      "%.1f%% heavy records, %.2f slots/record, dispatch=%s scatter=%s "
+      "shards=%zu → %s\n",
       records.size(), elapsed,
       static_cast<double>(records.size()) / elapsed / 1e6,
       stats.num_heavy_keys, 100.0 * stats.heavy_fraction(),
-      stats.slots_per_record(), stats.shards, out.c_str());
+      stats.slots_per_record(), to_string(stats.plan.dispatch),
+      to_string(stats.plan.scatter), stats.shards, out.c_str());
   return 0;
 }
 
